@@ -1,0 +1,29 @@
+"""E8 — Section 6.2 ablation: dynamic bounding of the speculation depth.
+
+Runs the speculative analysis on the WCET benchmark set with the
+optimisation on and off.  Shape to reproduce: bounding removes virtual
+edges (reducing work) and never loses precision (it may gain some).
+"""
+
+from repro.bench.tables import run_depth_ablation
+
+
+def test_depth_bounding_ablation(benchmark, once):
+    rows = once(benchmark, run_depth_ablation)
+
+    print()
+    print("Section 6.2 — dynamic speculation-depth bounding")
+    header = f"{'Name':10s} {'edges on':>9s} {'edges off':>10s} {'removed':>8s} {'miss on':>8s} {'miss off':>9s}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row.name:10s} {row.edges_with_bounding:9d} {row.edges_without_bounding:10d} "
+            f"{row.edges_removed:8d} {row.misses_with_bounding:8d} {row.misses_without_bounding:9d}"
+        )
+
+    assert len(rows) == 10
+    for row in rows:
+        assert row.edges_with_bounding <= row.edges_without_bounding
+        assert row.misses_with_bounding <= row.misses_without_bounding
+    assert any(row.edges_removed > 0 for row in rows)

@@ -1,0 +1,31 @@
+"""E1 — Figure 2/3: the motivating example at full (512-line) scale.
+
+Regenerates the paper's headline numbers: 512 misses + 1 hit under correct
+prediction, 514 misses (513 observable) under a misprediction, the
+non-speculative analysis proving the secret access hits, and the
+speculative analysis detecting the leak.
+"""
+
+from repro.bench.tables import run_motivating_example
+
+
+def test_figure2_motivating_example(benchmark, once):
+    result = once(benchmark, run_motivating_example, 512, 64)
+
+    print()
+    print("Figure 2/3 — motivating example (512-line cache)")
+    print(f"  concrete, correct prediction : {result.concrete_misses_correct_prediction} misses"
+          f" + {result.concrete_hits_correct_prediction} hit")
+    print(f"  concrete, misprediction      : {result.concrete_misses_misprediction} misses"
+          f" ({result.concrete_observable_misses_misprediction} observable)")
+    print(f"  non-speculative analysis     : ph[k] must-hit={result.non_speculative_must_hit},"
+          f" leak={result.non_speculative_leak}")
+    print(f"  speculative analysis         : ph[k] must-hit={result.speculative_must_hit},"
+          f" leak={result.speculative_leak}")
+
+    assert result.concrete_misses_correct_prediction == 512
+    assert result.concrete_hits_correct_prediction == 1
+    assert result.concrete_misses_misprediction == 514
+    assert result.concrete_observable_misses_misprediction == 513
+    assert result.non_speculative_must_hit and not result.speculative_must_hit
+    assert result.speculative_leak and not result.non_speculative_leak

@@ -1,0 +1,55 @@
+"""E3 — Figures 6/7: merge strategies and Just-in-Time merging.
+
+Analyses the Figure 7 diamond with a 4-line cache under all four merge
+strategies (the speculative window limited to the branch body, as in the
+figure) and checks the bottom-right state of Figure 7: only ``b`` and
+``c`` remain guaranteed cached at the merge point, while the
+non-speculative analysis would also keep ``a``.
+"""
+
+from repro import compile_source
+from repro.analysis import analyze_baseline, analyze_speculative
+from repro.bench.programs import figure7_source
+from repro.cache.config import CacheConfig
+from repro.ir.memory import MemoryBlock
+from repro.speculation.config import SpeculationConfig
+from repro.speculation.merge import MergeStrategy
+
+CACHE = CacheConfig.small(num_lines=4)
+
+
+def _run():
+    program = compile_source(figure7_source())
+    merge_block = [
+        name
+        for name in program.cfg.reachable_blocks()
+        if any(ref.symbol == "a" for ref in program.cfg.block(name).memory_refs())
+    ][-1]
+    baseline = analyze_baseline(program, cache_config=CACHE)
+    by_strategy = {}
+    for strategy in MergeStrategy:
+        config = SpeculationConfig(depth_miss=2, depth_hit=2, merge_strategy=strategy)
+        by_strategy[strategy] = analyze_speculative(program, CACHE, speculation=config)
+    return program, merge_block, baseline, by_strategy
+
+
+def test_figure7_merge_strategies(benchmark, once):
+    program, merge_block, baseline, by_strategy = once(benchmark, _run)
+
+    print()
+    print("Figure 7 — guaranteed-cached blocks at the merge point (4-line cache)")
+    base_state = baseline.entry_states[merge_block]
+    print(f"  non-speculative   : {sorted(str(b) for b in base_state.cached_blocks())}")
+    for strategy, result in by_strategy.items():
+        state = result.entry_states[merge_block]
+        cached = sorted(str(b) for b in state.cached_blocks() if not b.is_placeholder)
+        print(f"  {strategy.name:18s}: {cached}")
+
+    assert base_state.must_hit(MemoryBlock("a", 0))
+    jit_state = by_strategy[MergeStrategy.JUST_IN_TIME].entry_states[merge_block]
+    assert not jit_state.must_hit(MemoryBlock("a", 0))
+    assert jit_state.must_hit(MemoryBlock("b", 0))
+    assert jit_state.must_hit(MemoryBlock("c", 0))
+    # Every strategy is sound: none may keep 'a'.
+    for result in by_strategy.values():
+        assert not result.entry_states[merge_block].must_hit(MemoryBlock("a", 0))

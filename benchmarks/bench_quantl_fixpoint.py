@@ -1,0 +1,50 @@
+"""E2 — Tables 1/2, Figure 9: the quantl fixed-point computation.
+
+Runs the non-speculative and speculative analyses on the Figure 8 DSP
+kernel and checks the qualitative facts of Tables 1 and 2: the fixed point
+is reached in a bounded number of iterations, the Table-1 placeholder
+convention (``decis_lev[1*]``/``[2*]``) shows up in the loop states, and
+the speculative analysis additionally accounts for both quantisation
+tables being touched in one execution.
+"""
+
+from repro import compile_source
+from repro.analysis import analyze_baseline, analyze_speculative
+from repro.bench.programs import quantl_client_source
+from repro.cache.config import CacheConfig
+
+CACHE = CacheConfig(num_lines=16, line_size=64)
+
+
+def _run():
+    program = compile_source(quantl_client_source())
+    baseline = analyze_baseline(program, cache_config=CACHE)
+    speculative = analyze_speculative(program, cache_config=CACHE)
+    return program, baseline, speculative
+
+
+def test_quantl_fixpoint(benchmark, once):
+    program, baseline, speculative = once(benchmark, _run)
+
+    placeholder_symbols = set()
+    for state in baseline.entry_states.values():
+        if getattr(state, "is_bottom", False):
+            continue
+        placeholder_symbols |= {b.symbol for b in state.cached_blocks() if b.is_placeholder}
+    speculated = {c.ref.symbol for c in speculative.speculative_classifications()}
+
+    print()
+    print("quantl (Figure 8/9, Tables 1/2)")
+    print(f"  non-speculative: {baseline.miss_count} potential misses,"
+          f" {baseline.iterations} iterations")
+    print(f"  speculative:     {speculative.miss_count} potential misses,"
+          f" {speculative.speculative_miss_count} speculative misses,"
+          f" {speculative.iterations} iterations,"
+          f" {speculative.num_speculative_branches} branches")
+    print(f"  placeholder lines observed: {sorted(placeholder_symbols)}")
+    print(f"  tables touched speculatively: {sorted(s for s in speculated if 'quant' in s)}")
+
+    assert "decis_levl" in placeholder_symbols
+    assert {"quant26bt_pos", "quant26bt_neg"} <= speculated
+    assert speculative.miss_count >= baseline.miss_count
+    assert baseline.iterations < 200

@@ -1,0 +1,17 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file only exists
+so that ``pip install -e . --no-use-pep517`` works on machines without the
+``wheel`` package (e.g. fully offline environments).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description="Abstract interpretation under speculative execution (PLDI 2019 reproduction)",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,23 @@
+"""repro — Abstract Interpretation under Speculative Execution.
+
+A from-scratch Python reproduction of Wu & Wang, *Abstract Interpretation
+under Speculative Execution* (PLDI 2019): a static cache analysis
+(must-hit, LRU) that remains sound when the processor speculatively
+executes mispredicted branches, plus the two applications the paper
+evaluates — execution-time estimation and timing side-channel detection.
+
+Typical usage::
+
+    from repro import compile_source
+    from repro.analysis import analyze_baseline, analyze_speculative
+
+    program = compile_source(SOURCE)
+    non_spec = analyze_baseline(program)
+    spec = analyze_speculative(program)
+"""
+
+from repro.frontend import CompiledProgram, compile_source
+
+__version__ = "1.0.0"
+
+__all__ = ["CompiledProgram", "compile_source", "__version__"]

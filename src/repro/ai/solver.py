@@ -1,0 +1,120 @@
+"""Generic forward worklist fixpoint solver (Algorithm 1 of the paper).
+
+The solver is parameterised by the domain element at the entry, a bottom
+element, and a transfer function over basic blocks.  Widening is applied
+at loop headers (or at user-supplied widening points) after a
+configurable number of visits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Generic, TypeVar
+
+from repro.errors import AnalysisError
+from repro.ir.cfg import CFG
+from repro.ir.loops import find_natural_loops
+
+T = TypeVar("T")
+
+#: Number of visits to a widening point before widening kicks in.
+DEFAULT_WIDENING_DELAY = 3
+
+#: Hard bound on node visits; hitting it indicates a non-monotone transfer
+#: function or a broken partial order, so the solver raises rather than
+#: silently returning garbage.
+DEFAULT_MAX_VISITS = 2_000_000
+
+
+@dataclass
+class FixpointResult(Generic[T]):
+    """Result of a forward fixpoint computation."""
+
+    entry_states: dict[str, T] = field(default_factory=dict)
+    exit_states: dict[str, T] = field(default_factory=dict)
+    iterations: int = 0
+    widenings: int = 0
+
+    def entry_state(self, block: str) -> T:
+        return self.entry_states[block]
+
+    def exit_state(self, block: str) -> T:
+        return self.exit_states[block]
+
+
+def solve_forward(
+    cfg: CFG,
+    entry_state: T,
+    bottom: T,
+    transfer: Callable[[str, T], T],
+    widening_points: set[str] | None = None,
+    widening_delay: int = DEFAULT_WIDENING_DELAY,
+    max_visits: int = DEFAULT_MAX_VISITS,
+) -> FixpointResult[T]:
+    """Run the worklist algorithm on ``cfg``.
+
+    Parameters
+    ----------
+    entry_state:
+        Domain element holding at the entry of the entry block (⊤ in the
+        paper's formulation of the cache analysis: the empty cache).
+    bottom:
+        The unreachable element (⊥), used to initialise all other blocks.
+    transfer:
+        ``transfer(block_name, state_in) -> state_out``.
+    widening_points:
+        Blocks at which widening is applied.  Defaults to the headers of
+        the natural loops of ``cfg``.
+    """
+    if widening_points is None:
+        widening_points = {loop.header for loop in find_natural_loops(cfg)}
+
+    reachable = cfg.reachable_blocks()
+    order = {name: position for position, name in enumerate(cfg.reverse_postorder())}
+    entry_states: dict[str, T] = {name: bottom for name in reachable}
+    exit_states: dict[str, T] = {name: bottom for name in reachable}
+    entry_states[cfg.entry] = entry_state
+    visit_counts: dict[str, int] = {name: 0 for name in reachable}
+
+    result = FixpointResult[T](entry_states=entry_states, exit_states=exit_states)
+
+    worklist: deque[str] = deque([cfg.entry])
+    queued = {cfg.entry}
+    total_visits = 0
+    while worklist:
+        # Pop the block earliest in reverse postorder for fast convergence.
+        name = min(worklist, key=lambda block: order.get(block, 1 << 30))
+        worklist.remove(name)
+        queued.discard(name)
+
+        total_visits += 1
+        if total_visits > max_visits:
+            raise AnalysisError(
+                f"fixpoint did not converge within {max_visits} block visits"
+            )
+        visit_counts[name] += 1
+        result.iterations += 1
+
+        state_out = transfer(name, entry_states[name])
+        exit_states[name] = state_out
+
+        for successor in cfg.successors(name):
+            current = entry_states[successor]
+            joined = current.join(state_out)
+            if successor in widening_points and visit_counts[name] >= 0:
+                if _visits(visit_counts, successor) >= widening_delay:
+                    widened = joined.widen(current)
+                    if widened is not joined:
+                        result.widenings += 1
+                    joined = widened
+            if not joined.leq(current):
+                entry_states[successor] = joined
+                if successor not in queued:
+                    worklist.append(successor)
+                    queued.add(successor)
+    return result
+
+
+def _visits(visit_counts: dict[str, int], block: str) -> int:
+    return visit_counts.get(block, 0)

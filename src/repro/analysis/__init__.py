@@ -1,0 +1,27 @@
+"""Cache analyses: the paper's contribution.
+
+* :func:`analyze_baseline` — Algorithm 1: the classical, *non-speculative*
+  must-hit abstract interpretation (the state of the art the paper
+  compares against, and shows to be unsound under speculation).
+* :func:`analyze_speculative` — Algorithms 2 and 3: the lifted analysis
+  that propagates per-color speculative states over the virtual control
+  flow, with configurable merge strategies (Figure 6) and dynamic
+  speculation-depth bounding (Section 6.2).
+
+Both return a :class:`~repro.analysis.result.CacheAnalysisResult`
+containing per-location abstract states and a classification of every
+memory-access site as a guaranteed hit or potential miss.
+"""
+
+from repro.analysis.result import AccessClassification, CacheAnalysisResult
+from repro.analysis.baseline import analyze_baseline
+from repro.analysis.speculative import analyze_speculative
+from repro.analysis.depth import DepthBoundingStats
+
+__all__ = [
+    "AccessClassification",
+    "CacheAnalysisResult",
+    "DepthBoundingStats",
+    "analyze_baseline",
+    "analyze_speculative",
+]

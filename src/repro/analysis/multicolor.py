@@ -1,0 +1,344 @@
+"""The lifted worklist engine with per-color speculative states
+(Algorithms 2 and 3 of the paper).
+
+Every basic block ``n`` carries a *normal* abstract state ``S[n]`` plus a
+dictionary of *speculative* states ``SS[n][slot]``.  Slots are the
+engine's realisation of the paper's colors:
+
+* ``("window", c)`` — the cache state while scenario ``c``'s mispredicted
+  branch is being speculatively executed (between ``vn_start`` and the
+  rollback);
+* ``("resume", c)`` or ``("resume", c, origin)`` — the cache state after
+  the rollback, while the correct branch executes, carried until the
+  conversion point (``vn_stop``).  Collapsing strategies (Figures 6c/6d)
+  use a single resume slot per color; non-collapsing ones (6a/6b) keep one
+  per rollback block.
+
+The propagation rules correspond one-to-one to the virtual control-flow
+edges of Section 5.1:
+
+1. *Injection* (``n — vn_start`` and ``vn_start — n``): when a branch
+   block is processed, its post-transfer normal state is copied into the
+   window slot of each of its scenarios at the mispredicted target.
+2. *Window propagation* (``n — n``): window slots flow along ordinary CFG
+   edges between blocks of the active speculative window, with the block
+   transfer truncated to the window's instruction allowance.
+3. *Rollback* (``n — vn_stop``): each window block contributes the join of
+   all its prefix states to the correct branch — either directly into the
+   normal state (merge-at-rollback) or into a resume slot.
+4. *Conversion* (``vn_stop — n``): resume slots flowing into the
+   scenario's convergence block are joined into the normal state there and
+   stop propagating.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.depth import DepthChooser
+from repro.analysis.result import AccessClassification, CacheAnalysisResult
+from repro.analysis.transfer import (
+    AccessTable,
+    classify_block,
+    new_bottom_state,
+    new_entry_state,
+    transfer_block,
+    transfer_block_with_prefix_join,
+)
+from repro.cache.config import CacheConfig
+from repro.errors import AnalysisError
+from repro.frontend import CompiledProgram
+from repro.ir.loops import find_natural_loops
+from repro.speculation.config import SpeculationConfig
+from repro.speculation.vcfg import SpeculationScenario, VirtualCFG, build_vcfg
+
+#: A speculative-state slot key; see the module docstring.
+SlotKey = tuple
+
+#: Number of visits to a loop header before widening is applied to S.
+WIDENING_DELAY = 3
+
+#: Hard bound on worklist pops (defensive; the lattice is finite so the
+#: computation always terminates, but a bug in a transfer function should
+#: surface as an error rather than an endless loop).
+MAX_VISITS = 5_000_000
+
+
+@dataclass
+class _Delivery:
+    """One pending join: ``value`` flows into ``slot`` (or S) at ``target``."""
+
+    target: str
+    slot: SlotKey | None  # None means the normal state S
+    value: object
+
+
+@dataclass
+class SpeculativeFixpoint:
+    """Raw fixpoint output of the engine."""
+
+    normal: dict[str, object] = field(default_factory=dict)
+    speculative: dict[str, dict[SlotKey, object]] = field(default_factory=dict)
+    iterations: int = 0
+    widenings: int = 0
+
+
+class SpeculativeCacheAnalysis:
+    """The lifted analysis engine."""
+
+    def __init__(
+        self,
+        program: CompiledProgram,
+        cache_config: CacheConfig | None = None,
+        speculation: SpeculationConfig | None = None,
+    ):
+        self.program = program
+        self.cfg = program.cfg
+        self.layout = program.layout
+        self.cache_config = cache_config or CacheConfig.paper_default()
+        self.speculation = speculation or SpeculationConfig.paper_default()
+        self.vcfg: VirtualCFG = build_vcfg(self.cfg, self.speculation)
+        self.table = AccessTable(self.cfg, self.layout)
+        self.chooser = DepthChooser(self.speculation, self.layout)
+        self.secret_symbols = set(program.info.secret_symbols)
+        self._use_shadow = self.speculation.use_shadow_state
+        self._num_lines = self.cache_config.num_lines
+        self._bottom = new_bottom_state(self._num_lines, self._use_shadow)
+        self._scenarios_by_branch: dict[str, list[SpeculationScenario]] = {}
+        for scenario in self.vcfg.scenarios:
+            self._scenarios_by_branch.setdefault(scenario.branch_block, []).append(scenario)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self) -> CacheAnalysisResult:
+        started = time.perf_counter()
+        fixpoint = self.solve()
+        elapsed = time.perf_counter() - started
+        result = CacheAnalysisResult(
+            program_name=self.cfg.name,
+            cache_config=self.cache_config,
+            speculation=self.speculation,
+            entry_states=dict(fixpoint.normal),
+            iterations=fixpoint.iterations,
+            widenings=fixpoint.widenings,
+            analysis_time=elapsed,
+            num_speculative_branches=self.vcfg.num_speculative_branches,
+            num_virtual_edges=self.vcfg.num_virtual_edges,
+        )
+        stats = self.chooser.stats(self.vcfg.scenarios)
+        result.num_virtual_edges_active = stats.virtual_edges_active
+        result.classifications = self._classify(fixpoint)
+        return result
+
+    # ------------------------------------------------------------------
+    # Fixpoint
+    # ------------------------------------------------------------------
+    def solve(self) -> SpeculativeFixpoint:
+        cfg = self.cfg
+        reachable = cfg.reachable_blocks()
+        order = {name: position for position, name in enumerate(cfg.reverse_postorder())}
+        widening_points = {loop.header for loop in find_natural_loops(cfg)}
+
+        normal: dict[str, object] = {name: self._bottom for name in reachable}
+        normal[cfg.entry] = new_entry_state(self._num_lines, self._use_shadow)
+        speculative: dict[str, dict[SlotKey, object]] = {name: {} for name in reachable}
+        visits: dict[str, int] = {name: 0 for name in reachable}
+
+        fixpoint = SpeculativeFixpoint(normal=normal, speculative=speculative)
+
+        worklist: set[str] = {cfg.entry}
+        total_visits = 0
+        while worklist:
+            name = min(worklist, key=lambda block: order.get(block, 1 << 30))
+            worklist.discard(name)
+            total_visits += 1
+            if total_visits > MAX_VISITS:
+                raise AnalysisError(
+                    f"speculative fixpoint did not converge within {MAX_VISITS} visits"
+                )
+            visits[name] += 1
+            fixpoint.iterations += 1
+
+            deliveries = self._process_block(name, normal, speculative, worklist)
+            changed = self._apply_deliveries(
+                deliveries, normal, speculative, widening_points, visits, fixpoint
+            )
+            worklist |= changed
+        return fixpoint
+
+    def _process_block(
+        self,
+        name: str,
+        normal: dict[str, object],
+        speculative: dict[str, dict[SlotKey, object]],
+        worklist: set[str],
+    ) -> list[_Delivery]:
+        deliveries: list[_Delivery] = []
+        successors = self.cfg.successors(name)
+        state_in = normal[name]
+        slots_in = speculative[name]
+
+        # --- normal transfer and propagation -------------------------------
+        state_out = transfer_block(state_in, self.table, name)
+        for successor in successors:
+            deliveries.append(_Delivery(successor, None, state_out))
+
+        # --- speculative slots ----------------------------------------------
+        for slot, slot_state in slots_in.items():
+            if getattr(slot_state, "is_bottom", False):
+                continue
+            if slot[0] == "window":
+                deliveries.extend(
+                    self._process_window_slot(name, slot, slot_state, successors)
+                )
+            else:
+                deliveries.extend(
+                    self._process_resume_slot(name, slot, slot_state, successors)
+                )
+
+        # --- scenario injection at branch blocks ----------------------------
+        for scenario in self._scenarios_by_branch.get(name, []):
+            previous_window = self.chooser.active_window(scenario)
+            window = self.chooser.choose(scenario, state_in)
+            if window.depth > previous_window.depth:
+                # The window grew (the condition is no longer a proven hit):
+                # re-propagate from every block of the old window.
+                worklist.update(
+                    block for block in previous_window.allowed if block in normal
+                )
+            if window.depth <= 0 or not window.contains(scenario.wrong_target):
+                continue
+            deliveries.append(
+                _Delivery(scenario.wrong_target, ("window", scenario.color), state_out)
+            )
+        return deliveries
+
+    def _process_window_slot(
+        self, name: str, slot: SlotKey, slot_state, successors: list[str]
+    ) -> list[_Delivery]:
+        deliveries: list[_Delivery] = []
+        scenario = self.vcfg.scenario(slot[1])
+        window = self.chooser.active_window(scenario)
+        if not window.contains(name):
+            return deliveries
+        limit = window.allowed_instructions(name)
+        slot_out, prefix_join = transfer_block_with_prefix_join(
+            slot_state, self.table, name, limit
+        )
+        # Window propagation (rule 2): only into blocks still inside the window.
+        for successor in successors:
+            if window.contains(successor):
+                deliveries.append(_Delivery(successor, slot, slot_out))
+        # Rollback (rule 3): the join of all prefix states re-enters the
+        # normal flow at the correct target.
+        deliveries.append(self._rollback_delivery(scenario, name, prefix_join))
+        return deliveries
+
+    def _rollback_delivery(
+        self, scenario: SpeculationScenario, origin: str, state
+    ) -> _Delivery:
+        strategy = self.speculation.merge_strategy
+        target = scenario.correct_target
+        convergence = scenario.convergence_block
+        convert_immediately = (
+            not strategy.convert_at_merge_point
+            or convergence is None
+            or convergence == target
+        )
+        if convert_immediately:
+            return _Delivery(target, None, state)
+        if strategy.collapse_rollback_points:
+            return _Delivery(target, ("resume", scenario.color), state)
+        return _Delivery(target, ("resume", scenario.color, origin), state)
+
+    def _process_resume_slot(
+        self, name: str, slot: SlotKey, slot_state, successors: list[str]
+    ) -> list[_Delivery]:
+        deliveries: list[_Delivery] = []
+        scenario = self.vcfg.scenario(slot[1])
+        convergence = scenario.convergence_block
+        slot_out = transfer_block(slot_state, self.table, name)
+        for successor in successors:
+            if successor == convergence:
+                # Conversion (rule 4): vn_stop — the speculative state joins
+                # the normal flow and stops being tracked separately.
+                deliveries.append(_Delivery(successor, None, slot_out))
+            else:
+                deliveries.append(_Delivery(successor, slot, slot_out))
+        return deliveries
+
+    def _apply_deliveries(
+        self,
+        deliveries: list[_Delivery],
+        normal: dict[str, object],
+        speculative: dict[str, dict[SlotKey, object]],
+        widening_points: set[str],
+        visits: dict[str, int],
+        fixpoint: SpeculativeFixpoint,
+    ) -> set[str]:
+        changed: set[str] = set()
+        for delivery in deliveries:
+            target = delivery.target
+            if target not in normal:
+                continue
+            if delivery.slot is None:
+                current = normal[target]
+                joined = current.join(delivery.value)
+                if target in widening_points and visits.get(target, 0) >= WIDENING_DELAY:
+                    widened = joined.widen(current)
+                    if widened is not joined:
+                        fixpoint.widenings += 1
+                    joined = widened
+                if not joined.leq(current):
+                    normal[target] = joined
+                    changed.add(target)
+            else:
+                slots = speculative[target]
+                current = slots.get(delivery.slot, self._bottom)
+                joined = current.join(delivery.value)
+                if not joined.leq(current):
+                    slots[delivery.slot] = joined
+                    changed.add(target)
+        return changed
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def _classify(self, fixpoint: SpeculativeFixpoint) -> list[AccessClassification]:
+        classifications: list[AccessClassification] = []
+        for block in self.cfg.reachable_blocks():
+            state = fixpoint.normal[block]
+            # Accesses in the correct branch of a mispredicted execution
+            # commit with the speculatively polluted cache, so the committed
+            # classification must also hold under every *resume* state that
+            # reaches the block (window states model squashed instructions
+            # only, their misses are the masked "#SpMiss").
+            for slot, slot_state in fixpoint.speculative.get(block, {}).items():
+                if slot[0] == "resume" and not getattr(slot_state, "is_bottom", False):
+                    state = slot_state if getattr(state, "is_bottom", False) else state.join(slot_state)
+            if getattr(state, "is_bottom", False):
+                continue
+            classifications.extend(
+                classify_block(state, self.table, block, self.secret_symbols)
+            )
+        for scenario in self.vcfg.scenarios:
+            window = self.chooser.active_window(scenario)
+            slot = ("window", scenario.color)
+            for block, limit in window.allowed.items():
+                state = fixpoint.speculative.get(block, {}).get(slot)
+                if state is None or getattr(state, "is_bottom", False):
+                    continue
+                classifications.extend(
+                    classify_block(
+                        state,
+                        self.table,
+                        block,
+                        self.secret_symbols,
+                        instruction_limit=limit,
+                        speculative=True,
+                        scenario_color=scenario.color,
+                    )
+                )
+        return classifications

@@ -1,0 +1,33 @@
+"""Applications of the speculative cache analysis.
+
+The paper evaluates its analysis on two problems (Section 7):
+
+* :mod:`repro.apps.wcet` — execution-time estimation: counting the memory
+  accesses that may miss, and turning them into a worst-case execution
+  time bound (Table 5 / Table 6).
+* :mod:`repro.apps.sidechannel` — timing side-channel detection: deciding
+  whether the cache behaviour of secret-indexed accesses can depend on the
+  secret (Table 7), including the Figure-10-style client harness.
+"""
+
+from repro.apps.wcet import WcetComparison, WcetEstimate, compare_wcet, estimate_wcet
+from repro.apps.sidechannel import (
+    LeakComparison,
+    LeakReport,
+    compare_leaks,
+    detect_leaks,
+)
+from repro.apps.report import format_comparison_table, format_leak_table
+
+__all__ = [
+    "LeakComparison",
+    "LeakReport",
+    "WcetComparison",
+    "WcetEstimate",
+    "compare_leaks",
+    "compare_wcet",
+    "detect_leaks",
+    "estimate_wcet",
+    "format_comparison_table",
+    "format_leak_table",
+]

@@ -1,0 +1,118 @@
+"""Plain-text report formatting for the applications.
+
+These helpers render the comparison objects of :mod:`repro.apps.wcet` and
+:mod:`repro.apps.sidechannel` as fixed-width tables shaped like Tables 5,
+6 and 7 of the paper, so the benchmark harness can print results that are
+directly comparable with the published numbers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.apps.sidechannel import LeakComparison
+from repro.apps.wcet import WcetComparison
+
+
+def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return "  ".join(str(cell).ljust(width) for cell, width in zip(cells, widths))
+
+
+def format_comparison_table(rows: Sequence[WcetComparison], title: str = "Table 5") -> str:
+    """Render Table-5-style rows (execution-time estimation)."""
+    header = [
+        "Name",
+        "NS-Time(s)",
+        "NS-#Miss",
+        "SP-Time(s)",
+        "SP-#Miss",
+        "#SpMiss",
+        "#Branch",
+        "#Iteration",
+    ]
+    table_rows = [header]
+    for row in rows:
+        table_rows.append(
+            [
+                row.name,
+                f"{row.non_speculative.analysis_time:.2f}",
+                str(row.non_speculative.misses),
+                f"{row.speculative.analysis_time:.2f}",
+                str(row.speculative.misses),
+                str(row.speculative.speculative_misses),
+                str(row.speculative.branches),
+                str(row.speculative.iterations),
+            ]
+        )
+    widths = [max(len(row[i]) for row in table_rows) for i in range(len(header))]
+    lines = [title, _format_row(header, widths), "-" * (sum(widths) + 2 * (len(widths) - 1))]
+    lines.extend(_format_row(row, widths) for row in table_rows[1:])
+    return "\n".join(lines)
+
+
+def format_merge_table(
+    rows: Sequence[tuple[str, WcetComparison, WcetComparison]], title: str = "Table 6"
+) -> str:
+    """Render Table-6-style rows comparing two merge strategies.
+
+    Each entry is ``(name, at_rollback_comparison, jit_comparison)``; only
+    the speculative halves are used.
+    """
+    header = [
+        "Name",
+        "RB-Time(s)",
+        "RB-#Miss",
+        "RB-#SpMiss",
+        "RB-#Ite",
+        "JIT-Time(s)",
+        "JIT-#Miss",
+        "JIT-#SpMiss",
+        "JIT-#Ite",
+    ]
+    table_rows = [header]
+    for name, rollback, jit in rows:
+        table_rows.append(
+            [
+                name,
+                f"{rollback.speculative.analysis_time:.2f}",
+                str(rollback.speculative.misses),
+                str(rollback.speculative.speculative_misses),
+                str(rollback.speculative.iterations),
+                f"{jit.speculative.analysis_time:.2f}",
+                str(jit.speculative.misses),
+                str(jit.speculative.speculative_misses),
+                str(jit.speculative.iterations),
+            ]
+        )
+    widths = [max(len(row[i]) for row in table_rows) for i in range(len(header))]
+    lines = [title, _format_row(header, widths), "-" * (sum(widths) + 2 * (len(widths) - 1))]
+    lines.extend(_format_row(row, widths) for row in table_rows[1:])
+    return "\n".join(lines)
+
+
+def format_leak_table(rows: Sequence[LeakComparison], title: str = "Table 7") -> str:
+    """Render Table-7-style rows (side-channel detection)."""
+    header = [
+        "Name",
+        "Buffer(byte)",
+        "NS-Time(s)",
+        "NS-Leak",
+        "SP-Time(s)",
+        "SP-Leak",
+    ]
+    table_rows = [header]
+    for row in rows:
+        table_rows.append(
+            [
+                row.name,
+                str(row.buffer_bytes),
+                f"{row.non_speculative.analysis_time:.2f}",
+                "Yes" if row.non_speculative.leak_detected else "No",
+                f"{row.speculative.analysis_time:.2f}",
+                "Yes" if row.speculative.leak_detected else "No",
+            ]
+        )
+    widths = [max(len(row[i]) for row in table_rows) for i in range(len(header))]
+    lines = [title, _format_row(header, widths), "-" * (sum(widths) + 2 * (len(widths) - 1))]
+    lines.extend(_format_row(row, widths) for row in table_rows[1:])
+    return "\n".join(lines)

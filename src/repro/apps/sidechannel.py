@@ -1,0 +1,139 @@
+"""Timing side-channel detection (the paper's second application).
+
+A *leak* is a dependency between the cache behaviour of the program and
+secret data: if a secret-indexed table access can hit for some secret
+values and miss for others, an attacker measuring execution time learns
+something about the secret (Section 2.2).
+
+The detector runs the must-hit analysis and inspects every secret-indexed
+access site: a leak is reported when some of the blocks the access may
+touch are proven cached while others are not — i.e. the access's latency
+depends on which element (hence which secret value) is used.
+
+As in the paper's Table 7, the detector is typically run on a *client
+harness* (Figure 10) that preloads the secret-indexed table, fills an
+attacker-controlled buffer, calls the kernel under test, and then touches
+the table with a secret index; :mod:`repro.bench.client` generates these
+harnesses for the crypto benchmark kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.baseline import analyze_baseline
+from repro.analysis.result import AccessClassification, CacheAnalysisResult
+from repro.analysis.speculative import analyze_speculative
+from repro.cache.config import CacheConfig
+from repro.frontend import CompiledProgram
+from repro.speculation.config import SpeculationConfig
+
+
+@dataclass(frozen=True)
+class LeakSite:
+    """One secret-indexed access whose timing may depend on the secret."""
+
+    block: str
+    instruction_index: int
+    symbol: str
+    line: int
+
+    @classmethod
+    def from_classification(cls, classification: AccessClassification) -> "LeakSite":
+        return cls(
+            block=classification.block,
+            instruction_index=classification.instruction_index,
+            symbol=classification.ref.symbol,
+            line=classification.ref.line,
+        )
+
+
+@dataclass
+class LeakReport:
+    """Outcome of leak detection with one analysis."""
+
+    name: str
+    speculative: bool
+    analysis_time: float
+    secret_sites: int
+    leak_sites: list[LeakSite] = field(default_factory=list)
+
+    @property
+    def leak_detected(self) -> bool:
+        return bool(self.leak_sites)
+
+    @classmethod
+    def from_result(
+        cls, name: str, result: CacheAnalysisResult, speculative: bool
+    ) -> "LeakReport":
+        sites = [
+            LeakSite.from_classification(c)
+            for c in result.secret_dependent_classifications()
+        ]
+        return cls(
+            name=name,
+            speculative=speculative,
+            analysis_time=result.analysis_time,
+            secret_sites=len(result.secret_indexed_classifications()),
+            leak_sites=sites,
+        )
+
+
+@dataclass(frozen=True)
+class LeakComparison:
+    """One Table-7 row: non-speculative vs speculative leak detection."""
+
+    name: str
+    buffer_bytes: int
+    non_speculative: LeakReport
+    speculative: LeakReport
+
+    @property
+    def leak_only_under_speculation(self) -> bool:
+        """The paper's headline case: the program looks leak-free to the
+        unsound baseline but leaks once speculation is modelled."""
+        return self.speculative.leak_detected and not self.non_speculative.leak_detected
+
+
+def detect_leaks(
+    program: CompiledProgram,
+    cache_config: CacheConfig | None = None,
+    speculation: SpeculationConfig | None = None,
+    speculative: bool = True,
+    name: str | None = None,
+) -> LeakReport:
+    """Run leak detection on ``program`` with one analysis flavour."""
+    config = cache_config or CacheConfig.paper_default()
+    label = name or program.cfg.name
+    if speculative:
+        result = analyze_speculative(program, cache_config=config, speculation=speculation)
+    else:
+        result = analyze_baseline(program, cache_config=config)
+    return LeakReport.from_result(label, result, speculative)
+
+
+def compare_leaks(
+    program: CompiledProgram,
+    cache_config: CacheConfig | None = None,
+    speculation: SpeculationConfig | None = None,
+    buffer_bytes: int = 0,
+    name: str | None = None,
+) -> LeakComparison:
+    """Produce one Table-7 row for ``program``."""
+    label = name or program.cfg.name
+    non_spec = detect_leaks(
+        program, cache_config=cache_config, speculative=False, name=label
+    )
+    spec = detect_leaks(
+        program,
+        cache_config=cache_config,
+        speculation=speculation,
+        speculative=True,
+        name=label,
+    )
+    return LeakComparison(
+        name=label,
+        buffer_bytes=buffer_bytes,
+        non_speculative=non_spec,
+        speculative=spec,
+    )

@@ -1,0 +1,49 @@
+"""Benchmark-suite substrate.
+
+* :mod:`repro.bench.programs` — MiniC sources for the paper's running
+  examples (Figures 2, 7, 8/9, 11) and synthetic counterparts of the
+  Table-3 WCET benchmark set.
+* :mod:`repro.bench.crypto` — synthetic counterparts of the Table-4
+  cryptographic benchmark set (kernels with secret-indexed tables).
+* :mod:`repro.bench.client` — the Figure-10-style client harness that
+  wraps a crypto kernel with an attacker-controlled buffer.
+* :mod:`repro.bench.workloads` — parameter sweeps (buffer sizes, cache
+  sizes, speculation depths).
+* :mod:`repro.bench.tables` — drivers that regenerate Tables 5, 6 and 7
+  and the figure-level experiments.
+"""
+
+from repro.bench.programs import (
+    WCET_BENCHMARKS,
+    figure7_source,
+    figure11_source,
+    motivating_example_source,
+    quantl_client_source,
+    wcet_benchmark_source,
+)
+from repro.bench.crypto import CRYPTO_BENCHMARKS, crypto_kernel
+from repro.bench.client import build_client_source
+from repro.bench.tables import (
+    generate_table5,
+    generate_table6,
+    generate_table7,
+    run_depth_ablation,
+    run_motivating_example,
+)
+
+__all__ = [
+    "CRYPTO_BENCHMARKS",
+    "WCET_BENCHMARKS",
+    "build_client_source",
+    "crypto_kernel",
+    "figure11_source",
+    "figure7_source",
+    "generate_table5",
+    "generate_table6",
+    "generate_table7",
+    "motivating_example_source",
+    "quantl_client_source",
+    "run_depth_ablation",
+    "run_motivating_example",
+    "wcet_benchmark_source",
+]

@@ -1,0 +1,70 @@
+"""The Figure-10 client harness.
+
+The paper evaluates side-channel detection not on the crypto kernels in
+isolation but on a *client program* that (1) preloads an S-box-like
+lookup table, (2) reads an attacker-controlled input buffer, (3) calls
+the kernel under test, and (4) finally accesses the S-box with a secret
+index (the cipher's key).  The attacker can size the input buffer so that
+the kernel's *speculative* footprint — but not its normal footprint —
+pushes part of the S-box out of the cache, making step (4)'s latency
+depend on the secret.
+
+:func:`build_client_source` assembles that harness around any kernel from
+:mod:`repro.bench.crypto`.
+"""
+
+from __future__ import annotations
+
+from repro.bench.crypto import CryptoKernel
+
+#: Size of the secret-indexed lookup table, in bytes.  512 bytes = 8 lines
+#: of the default 64-byte-line cache: large enough that partial eviction is
+#: observable, small enough that it normally stays resident.
+DEFAULT_SBOX_BYTES = 512
+
+
+def build_client_source(
+    kernel: CryptoKernel,
+    buffer_bytes: int,
+    sbox_bytes: int = DEFAULT_SBOX_BYTES,
+    line_size: int = 64,
+) -> str:
+    """Return a complete MiniC program: the kernel plus the client main.
+
+    ``buffer_bytes`` is the attacker-controlled input size (the "Buffer"
+    column of Table 7); it is touched one cache line at a time, exactly
+    like Figure 10's warm-up loop.
+    """
+    sbox_bytes = max(line_size, (sbox_bytes // line_size) * line_size)
+    buffer_bytes = max(0, (buffer_bytes // line_size) * line_size)
+    buffer_decl = (
+        f"char in_buf[{buffer_bytes}];" if buffer_bytes > 0 else "// no client buffer"
+    )
+    buffer_loop = (
+        f"""
+  for (i = 0; i < {buffer_bytes}; i += {line_size}) {{
+    tmp = in_buf[i];                      // attacker-controlled buffer
+  }}"""
+        if buffer_bytes > 0
+        else "\n  // attacker buffer elided (zero bytes)"
+    )
+    return f"""{kernel.source}
+
+// ---- Figure-10 style client ----
+const char sbox[{sbox_bytes}];
+{buffer_decl}
+secret int key;
+int client_el;
+int client_delt;
+
+int main() {{
+  reg int i;
+  int tmp;
+  for (i = 0; i < {sbox_bytes}; i += {line_size}) {{
+    tmp = sbox[i];                        // preload the S-box
+  }}{buffer_loop}
+  tmp = {kernel.entry}(client_el, client_delt);
+  tmp = sbox[key];                        // the cipher's secret-indexed access
+  return tmp;
+}}
+"""

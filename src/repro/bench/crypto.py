@@ -1,0 +1,394 @@
+"""Synthetic counterparts of the Table-4 cryptographic benchmark set.
+
+Each entry provides the *kernel* part only (tables plus a processing
+function); :mod:`repro.bench.client` wraps it in the Figure-10 client
+harness (preload an S-box, touch an attacker-controlled buffer, run the
+kernel, access the S-box with a secret index).
+
+What matters for the experiment is the kernel's *speculative footprint
+asymmetry*: kernels whose data-dependent branches touch different tables
+on the two sides add extra cache pressure only when speculation is
+modelled, which is what lets the speculative analysis find leaks the
+baseline misses.  Kernels without such branches (or whose branches touch
+the same lines on both sides) stay indistinguishable — mirroring the
+half/half split of the paper's Table 7.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CryptoKernel:
+    """Descriptor of one crypto benchmark kernel."""
+
+    name: str
+    source: str
+    entry: str
+    description: str
+    asymmetric_branch: bool
+
+
+def _table(name: str, bytes_: int, element: str = "char") -> str:
+    length = bytes_ if element == "char" else bytes_ // 4
+    return f"{element} {name}[{length}];"
+
+
+def hash_kernel(num_lines: int = 64, line_size: int = 64) -> CryptoKernel:
+    """hpn-ssh hash: a chaining loop over the message plus a finalisation
+    branch that pads with one of two constant tables."""
+    pad_bytes = 2 * line_size
+    source = f"""
+// hash (hpn-ssh): iterated compression with padding selection.
+{_table("hash_pad_even", pad_bytes)}
+{_table("hash_pad_odd", pad_bytes)}
+int hash_state; int hash_len;
+
+int hash_process(int message, int length) {{
+  int digest;
+  int round;
+  digest = hash_state;
+  for (round = 0; round < 8; round = round + 1) {{
+    digest = (digest * 33) + message + round;
+  }}
+  if (length % 2 == 0) {{
+    digest = digest + hash_pad_even[0] + hash_pad_even[{line_size}];
+  }} else {{
+    digest = digest + hash_pad_odd[0] + hash_pad_odd[{line_size}];
+  }}
+  hash_len = length;
+  return digest;
+}}
+"""
+    return CryptoKernel(
+        name="hash",
+        source=source,
+        entry="hash_process",
+        description="hpn-ssh hash function",
+        asymmetric_branch=True,
+    )
+
+
+def encoder_kernel(num_lines: int = 64, line_size: int = 64) -> CryptoKernel:
+    """LibTomCrypt hex encoder: upper-case vs lower-case alphabet tables."""
+    alphabet_bytes = line_size
+    source = f"""
+// encoder (LibTomCrypt): hex encode a string.
+{_table("hex_upper", alphabet_bytes)}
+{_table("hex_lower", alphabet_bytes)}
+{_table("encoder_out", 2 * line_size)}
+int encoder_flags;
+
+int encoder_process(int data, int length) {{
+  int acc;
+  acc = encoder_out[0];
+  if (encoder_flags > 0) {{
+    acc = acc + hex_upper[0];
+  }} else {{
+    acc = acc + hex_lower[0];
+  }}
+  encoder_out[{line_size}];
+  return acc + data + length;
+}}
+"""
+    return CryptoKernel(
+        name="encoder",
+        source=source,
+        entry="encoder_process",
+        description="LibTomCrypt hex encoder",
+        asymmetric_branch=True,
+    )
+
+
+def chacha20_kernel(num_lines: int = 64, line_size: int = 64) -> CryptoKernel:
+    """chacha20poly1305: ARX rounds over the state plus a tag-selection
+    branch touching one of two constant tables."""
+    const_bytes = 2 * line_size
+    source = f"""
+// chacha20 (LibTomCrypt): chacha20poly1305 AEAD.
+{_table("chacha_sigma", const_bytes, "int")}
+{_table("chacha_tau", const_bytes, "int")}
+int chacha_state[16];
+int chacha_counter;
+
+int chacha20_process(int data, int length) {{
+  int a; int b;
+  int round;
+  a = chacha_state[0] + data;
+  b = chacha_state[4] + chacha_counter;
+  for (round = 0; round < 10; round = round + 1) {{
+    a = a + b;
+    b = (b << 7) ^ a;
+  }}
+  if (length > 32) {{
+    a = a + chacha_sigma[0] + chacha_sigma[{line_size // 4}];
+  }} else {{
+    a = a + chacha_tau[0] + chacha_tau[{line_size // 4}];
+  }}
+  chacha_state[8];
+  return a + b;
+}}
+"""
+    return CryptoKernel(
+        name="chacha20",
+        source=source,
+        entry="chacha20_process",
+        description="LibTomCrypt chacha20poly1305 cipher",
+        asymmetric_branch=True,
+    )
+
+
+def ocb_kernel(num_lines: int = 64, line_size: int = 64) -> CryptoKernel:
+    """OCB mode: offset table plus a final-block branch with distinct
+    padding tables for full and partial blocks."""
+    offset_bytes = 2 * line_size
+    source = f"""
+// ocb (LibTomCrypt): offset codebook mode.
+{_table("ocb_offsets", offset_bytes, "int")}
+{_table("ocb_pad_full", line_size)}
+{_table("ocb_pad_partial", line_size)}
+int ocb_nonce;
+
+int ocb_process(int data, int length) {{
+  int checksum;
+  int block;
+  checksum = ocb_nonce;
+  for (block = 0; block < 4; block = block + 1) {{
+    checksum = checksum ^ (data + block);
+  }}
+  checksum = checksum + ocb_offsets[0] + ocb_offsets[{line_size // 4}];
+  if (length % 16 == 0) {{
+    checksum = checksum + ocb_pad_full[0];
+  }} else {{
+    checksum = checksum + ocb_pad_partial[0];
+  }}
+  return checksum;
+}}
+"""
+    return CryptoKernel(
+        name="ocb",
+        source=source,
+        entry="ocb_process",
+        description="LibTomCrypt OCB implementation",
+        asymmetric_branch=True,
+    )
+
+
+def des_kernel(num_lines: int = 64, line_size: int = 64) -> CryptoKernel:
+    """openssl DES: the kernel carries its own user-controlled schedule
+    buffer (this is why the paper reports a leak even with a zero-byte
+    client buffer), plus asymmetric permutation tables."""
+    schedule_lines = max(4, int(num_lines * 0.73))
+    schedule_bytes = schedule_lines * line_size
+    source = f"""
+// des (openssl): Feistel rounds over a user-sized key schedule.
+{_table("des_schedule", schedule_bytes)}
+{_table("des_perm_left", line_size)}
+{_table("des_perm_right", line_size)}
+int des_rounds;
+
+int des_process(int data, int length) {{
+  reg int i;
+  int left; int right;
+  left = data;
+  right = length;
+  for (i = 0; i < {schedule_bytes}; i += {line_size}) {{
+    des_schedule[i];                          // walk the key schedule
+  }}
+  if (left > right) {{
+    left = left ^ des_perm_left[0];
+  }} else {{
+    right = right ^ des_perm_right[0];
+  }}
+  des_rounds = left + right;
+  return des_rounds;
+}}
+"""
+    return CryptoKernel(
+        name="des",
+        source=source,
+        entry="des_process",
+        description="openssl DES cipher",
+        asymmetric_branch=True,
+    )
+
+
+def aes_kernel(num_lines: int = 64, line_size: int = 64) -> CryptoKernel:
+    """LibTomCrypt AES: table-based rounds with *no* data-dependent branch —
+    both analyses agree on its cache behaviour."""
+    te_bytes = 4 * line_size
+    source = f"""
+// aes (LibTomCrypt): T-table rounds, branch-free data path.
+{_table("aes_te0", te_bytes, "int")}
+{_table("aes_te1", te_bytes, "int")}
+int aes_round_keys[16];
+
+int aes_process(int data, int length) {{
+  int state;
+  int round;
+  state = data ^ aes_round_keys[0];
+  for (round = 0; round < 10; round = round + 1) {{
+    state = state ^ aes_te0[0] ^ aes_te1[0];
+    state = state + aes_round_keys[4];
+  }}
+  return state + length;
+}}
+"""
+    return CryptoKernel(
+        name="aes",
+        source=source,
+        entry="aes_process",
+        description="LibTomCrypt AES implementation",
+        asymmetric_branch=False,
+    )
+
+
+def str2key_kernel(num_lines: int = 64, line_size: int = 64) -> CryptoKernel:
+    """openssl DES string-to-key: a branch-free (constant-time style)
+    parity fix-up, so speculation adds no cache pressure."""
+    odd_bytes = 2 * line_size
+    source = f"""
+// str2key (openssl): key preparation with branch-free parity fix-up.
+{_table("parity_table", odd_bytes)}
+int str2key_salt;
+
+int str2key_process(int data, int length) {{
+  int key;
+  int i;
+  int mask;
+  key = str2key_salt;
+  for (i = 0; i < 8; i = i + 1) {{
+    key = (key << 1) + data + i;
+  }}
+  mask = (length > 8);
+  key = key + mask * parity_table[0] - (1 - mask) * parity_table[0];
+  return key;
+}}
+"""
+    return CryptoKernel(
+        name="str2key",
+        source=source,
+        entry="str2key_process",
+        description="openssl DES key preparation",
+        asymmetric_branch=False,
+    )
+
+
+def seed_kernel(num_lines: int = 64, line_size: int = 64) -> CryptoKernel:
+    """linux-tegra SEED: branch-free SS-box rounds."""
+    ss_bytes = 2 * line_size
+    source = f"""
+// seed (linux-tegra): SEED block cipher rounds.
+{_table("seed_ss0", ss_bytes, "int")}
+{_table("seed_ss1", ss_bytes, "int")}
+int seed_subkeys[8];
+
+int seed_process(int data, int length) {{
+  int left; int right;
+  int round;
+  left = data;
+  right = length;
+  for (round = 0; round < 8; round = round + 1) {{
+    left = left ^ seed_ss0[0];
+    right = right ^ seed_ss1[0];
+    left = left + seed_subkeys[0];
+  }}
+  return left ^ right;
+}}
+"""
+    return CryptoKernel(
+        name="seed",
+        source=source,
+        entry="seed_process",
+        description="linux-tegra SEED cipher",
+        asymmetric_branch=False,
+    )
+
+
+def camellia_kernel(num_lines: int = 64, line_size: int = 64) -> CryptoKernel:
+    """linux-tegra Camellia: branch-free Feistel rounds (constant-time
+    style), so speculation adds no cache pressure."""
+    sigma_bytes = 2 * line_size
+    source = f"""
+// camellia (linux-tegra): Feistel rounds with FL/FL^-1 layers.
+{_table("camellia_sigma", sigma_bytes, "int")}
+int camellia_subkeys[12];
+
+int camellia_process(int data, int length) {{
+  int left; int right;
+  int round;
+  left = data ^ camellia_subkeys[0];
+  right = length ^ camellia_subkeys[4];
+  for (round = 0; round < 6; round = round + 1) {{
+    left = left + camellia_sigma[0];
+    right = right ^ left;
+  }}
+  left = left + camellia_sigma[{line_size // 4}];
+  return left ^ right;
+}}
+"""
+    return CryptoKernel(
+        name="camellia",
+        source=source,
+        entry="camellia_process",
+        description="linux-tegra Camellia cipher",
+        asymmetric_branch=False,
+    )
+
+
+def salsa_kernel(num_lines: int = 64, line_size: int = 64) -> CryptoKernel:
+    """linux-tegra Salsa20: pure ARX, no tables beyond the state."""
+    source = """
+// salsa (linux-tegra): Salsa20 stream cipher quarter rounds.
+int salsa_state[16];
+int salsa_nonce;
+
+int salsa_process(int data, int length) {
+  int a; int b; int c;
+  int round;
+  a = salsa_state[0] + data;
+  b = salsa_state[4] + salsa_nonce;
+  c = salsa_state[8] + length;
+  for (round = 0; round < 10; round = round + 1) {
+    a = a + (b << 7);
+    b = b ^ (c << 9);
+    c = c + (a << 13);
+  }
+  return a ^ b ^ c;
+}
+"""
+    return CryptoKernel(
+        name="salsa",
+        source=source,
+        entry="salsa_process",
+        description="linux-tegra Salsa20 stream cipher",
+        asymmetric_branch=False,
+    )
+
+
+#: Registry of the Table-4 benchmark set: name -> kernel generator.
+CRYPTO_BENCHMARKS: dict[str, Callable[[int, int], CryptoKernel]] = {
+    "hash": hash_kernel,
+    "encoder": encoder_kernel,
+    "chacha20": chacha20_kernel,
+    "ocb": ocb_kernel,
+    "aes": aes_kernel,
+    "str2key": str2key_kernel,
+    "des": des_kernel,
+    "seed": seed_kernel,
+    "camellia": camellia_kernel,
+    "salsa": salsa_kernel,
+}
+
+
+def crypto_kernel(name: str, num_lines: int = 64, line_size: int = 64) -> CryptoKernel:
+    """Return the kernel descriptor for one Table-4 benchmark."""
+    try:
+        generator = CRYPTO_BENCHMARKS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown crypto benchmark {name!r}; known: {sorted(CRYPTO_BENCHMARKS)}"
+        ) from exc
+    return generator(num_lines, line_size)

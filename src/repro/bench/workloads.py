@@ -1,0 +1,145 @@
+"""Parameter sweeps used by the evaluation.
+
+These mirror the way the paper explores its parameter space:
+
+* :func:`sweep_buffer_sizes` / :func:`find_distinguishing_buffer` — the
+  Table-7 procedure: vary the attacker-controlled buffer from the cache
+  size down to zero and look for a size at which the speculative analysis
+  reports a leak while the non-speculative one does not.
+* :func:`sweep_speculation_depths` — sensitivity of the miss count to the
+  ``bm`` bound (used by the depth ablation).
+* :func:`sweep_cache_sizes` — how the comparison scales with cache size.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.apps.sidechannel import LeakComparison, compare_leaks
+from repro.apps.wcet import WcetEstimate, estimate_wcet
+from repro.bench.client import build_client_source
+from repro.bench.crypto import crypto_kernel
+from repro.cache.config import CacheConfig
+from repro.frontend import compile_source
+from repro.speculation.config import SpeculationConfig
+
+
+@dataclass(frozen=True)
+class BufferSweepPoint:
+    """One point of the Table-7 buffer sweep."""
+
+    kernel: str
+    buffer_bytes: int
+    comparison: LeakComparison
+
+    @property
+    def distinguishes(self) -> bool:
+        return self.comparison.leak_only_under_speculation
+
+
+def sweep_buffer_sizes(
+    kernel_name: str,
+    cache_config: CacheConfig,
+    speculation: SpeculationConfig | None = None,
+    buffer_sizes: Iterable[int] | None = None,
+) -> Iterator[BufferSweepPoint]:
+    """Analyse the client harness for every buffer size in ``buffer_sizes``
+    (default: from the cache size down to zero, one line at a time)."""
+    kernel = crypto_kernel(kernel_name, cache_config.num_lines, cache_config.line_size)
+    if buffer_sizes is None:
+        buffer_sizes = range(
+            cache_config.size_bytes, -1, -cache_config.line_size
+        )
+    for buffer_bytes in buffer_sizes:
+        source = build_client_source(
+            kernel, buffer_bytes, line_size=cache_config.line_size
+        )
+        program = compile_source(source, line_size=cache_config.line_size)
+        comparison = compare_leaks(
+            program,
+            cache_config=cache_config,
+            speculation=speculation,
+            buffer_bytes=buffer_bytes,
+            name=kernel_name,
+        )
+        yield BufferSweepPoint(
+            kernel=kernel_name, buffer_bytes=buffer_bytes, comparison=comparison
+        )
+
+
+def find_distinguishing_buffer(
+    kernel_name: str,
+    cache_config: CacheConfig,
+    speculation: SpeculationConfig | None = None,
+    buffer_sizes: Iterable[int] | None = None,
+) -> BufferSweepPoint | None:
+    """Return the sweep point with the *smallest* buffer at which only the
+    speculative analysis reports a leak, or None when no size does."""
+    best: BufferSweepPoint | None = None
+    for point in sweep_buffer_sizes(
+        kernel_name, cache_config, speculation, buffer_sizes
+    ):
+        if point.distinguishes and (best is None or point.buffer_bytes < best.buffer_bytes):
+            best = point
+    return best
+
+
+@dataclass(frozen=True)
+class DepthSweepPoint:
+    """Miss counts as a function of the speculation depth bound."""
+
+    depth_miss: int
+    estimate: WcetEstimate
+
+
+def sweep_speculation_depths(
+    program,
+    depths: Iterable[int],
+    cache_config: CacheConfig | None = None,
+) -> list[DepthSweepPoint]:
+    """Estimate the WCET-relevant miss count under several ``bm`` bounds."""
+    points: list[DepthSweepPoint] = []
+    for depth in depths:
+        speculation = SpeculationConfig.paper_default().with_depths(depth, min(20, depth))
+        estimate = estimate_wcet(
+            program, cache_config=cache_config, speculation=speculation, speculative=True
+        )
+        points.append(DepthSweepPoint(depth_miss=depth, estimate=estimate))
+    return points
+
+
+@dataclass(frozen=True)
+class CacheSweepPoint:
+    """Comparison results as a function of the cache size."""
+
+    num_lines: int
+    non_speculative_misses: int
+    speculative_misses: int
+
+
+def sweep_cache_sizes(
+    source: str,
+    cache_lines: Iterable[int],
+    line_size: int = 64,
+    speculation: SpeculationConfig | None = None,
+) -> list[CacheSweepPoint]:
+    """Compare the two analyses across cache sizes for one source program."""
+    from repro.analysis import analyze_baseline, analyze_speculative
+
+    points: list[CacheSweepPoint] = []
+    program = compile_source(source, line_size=line_size)
+    for num_lines in cache_lines:
+        config = CacheConfig(num_lines=num_lines, line_size=line_size)
+        base = analyze_baseline(program, cache_config=config)
+        spec = analyze_speculative(
+            program, cache_config=config, speculation=speculation
+        )
+        points.append(
+            CacheSweepPoint(
+                num_lines=num_lines,
+                non_speculative_misses=base.miss_count,
+                speculative_misses=spec.miss_count,
+            )
+        )
+    return points

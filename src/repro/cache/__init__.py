@@ -1,0 +1,25 @@
+"""Cache substrate: configuration, concrete LRU simulation, and the
+abstract cache states used by the must-hit analysis.
+
+Two abstract states are provided:
+
+* :class:`~repro.cache.abstract.CacheState` — the classic must-analysis
+  state (Section 4 / Appendix A of the paper): one age upper bound per
+  memory block, join = pointwise max.
+* :class:`~repro.cache.shadow.ShadowCacheState` — the refined state of
+  Section 6.3 / Appendix B that additionally tracks *shadow variables*
+  (may-ages) and uses them to avoid unnecessary aging at join-heavy loops.
+"""
+
+from repro.cache.config import CacheConfig
+from repro.cache.concrete import ConcreteCache
+from repro.cache.abstract import AGE_INFINITY, CacheState
+from repro.cache.shadow import ShadowCacheState
+
+__all__ = [
+    "AGE_INFINITY",
+    "CacheConfig",
+    "CacheState",
+    "ConcreteCache",
+    "ShadowCacheState",
+]

@@ -1,0 +1,247 @@
+"""Abstract cache state for the must-hit analysis (Section 4, Appendix A).
+
+The state maps each memory block to an *upper bound on its LRU age*:
+``age <= N`` (the number of cache lines) means the block is guaranteed to
+be in the cache on every path reaching the program point — a *must hit*.
+Blocks not present in the map have age "infinity" (definitely possibly
+uncached).
+
+States are immutable from the caller's perspective: every operation
+returns a new state, which is what the generic worklist solver expects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.memory import AccessKind, BlockAccess, MemoryBlock, placeholder_blocks
+
+#: Symbolic "outside the cache" age returned by :meth:`CacheState.age`.
+#: Any value strictly greater than every legal ``num_lines`` works; using a
+#: single sentinel keeps ages comparable across configurations.
+AGE_INFINITY = 1 << 30
+
+
+@dataclass(frozen=True)
+class CacheState:
+    """Must-analysis abstract cache state.
+
+    ``ages`` only stores blocks whose age bound is at most ``num_lines``
+    (i.e. blocks that are guaranteed cached); everything else is implicitly
+    at :data:`AGE_INFINITY`.  ``is_bottom`` marks the unreachable state
+    (the join identity, written ⊥ in the paper).
+    """
+
+    num_lines: int
+    ages: dict[MemoryBlock, int] = field(default_factory=dict)
+    is_bottom: bool = False
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, num_lines: int) -> "CacheState":
+        """The entry state: an empty cache (nothing is guaranteed cached).
+
+        This is the ⊤ element of Algorithm 1/2: no information is assumed
+        about the initial cache contents.
+        """
+        return cls(num_lines=num_lines)
+
+    @classmethod
+    def bottom(cls, num_lines: int) -> "CacheState":
+        """The unreachable state (⊥): identity of the join."""
+        return cls(num_lines=num_lines, is_bottom=True)
+
+    @classmethod
+    def from_ages(cls, num_lines: int, ages: dict[MemoryBlock, int]) -> "CacheState":
+        kept = {block: age for block, age in ages.items() if age <= num_lines}
+        return cls(num_lines=num_lines, ages=kept)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def age(self, block: MemoryBlock) -> int:
+        """Upper bound on the age of ``block`` (AGE_INFINITY if uncached)."""
+        if self.is_bottom:
+            return AGE_INFINITY
+        return self.ages.get(block, AGE_INFINITY)
+
+    def must_hit(self, block: MemoryBlock) -> bool:
+        """True when ``block`` is guaranteed to be cached."""
+        return not self.is_bottom and block in self.ages
+
+    def must_hit_access(self, access: BlockAccess) -> bool:
+        """True when the access is guaranteed to hit, whichever block it
+        resolves to at run time."""
+        if self.is_bottom:
+            return False
+        return all(block in self.ages for block in access.blocks)
+
+    def cached_blocks(self) -> set[MemoryBlock]:
+        return set(self.ages)
+
+    def __len__(self) -> int:
+        return len(self.ages)
+
+    # ------------------------------------------------------------------
+    # Transfer
+    # ------------------------------------------------------------------
+    def access(self, access: BlockAccess) -> "CacheState":
+        """Apply the transfer function for one memory access."""
+        if self.is_bottom:
+            # Transfers never resurrect unreachable states.
+            return self
+        if access.kind is AccessKind.CONCRETE:
+            return self.access_block(access.concrete_block)
+        if access.kind is AccessKind.SECRET:
+            # Secret-indexed accesses are handled fully conservatively: the
+            # side-channel queries about them must never be optimistic.
+            return self.access_unknown()
+        return self.access_unknown_array(access.symbol, len(access.blocks))
+
+    def access_block(self, block: MemoryBlock) -> "CacheState":
+        """Access a single, statically known block (Figure 4 semantics):
+        the accessed block becomes the youngest; every block that may have
+        been younger than it ages by one."""
+        if self.is_bottom:
+            return self
+        accessed_age = self.age(block)
+        new_ages: dict[MemoryBlock, int] = {}
+        for other, age in self.ages.items():
+            if other == block:
+                continue
+            if age < accessed_age:
+                aged = age + 1
+                if aged <= self.num_lines:
+                    new_ages[other] = aged
+            else:
+                new_ages[other] = age
+        new_ages[block] = 1
+        return CacheState(num_lines=self.num_lines, ages=new_ages)
+
+    def access_unknown(self) -> "CacheState":
+        """Access whose target block is not statically known.
+
+        The sound must-analysis over-approximation: some (unknown) line may
+        have been inserted in front of every cached block, so every age
+        bound grows by one, and nothing new can be promised to be cached.
+        """
+        if self.is_bottom:
+            return self
+        new_ages: dict[MemoryBlock, int] = {}
+        for block, age in self.ages.items():
+            aged = age + 1
+            if aged <= self.num_lines:
+                new_ages[block] = aged
+        return CacheState(num_lines=self.num_lines, ages=new_ages)
+
+    def access_unknown_array(self, symbol: str, num_blocks: int) -> "CacheState":
+        """Unknown-index access to an array, using the paper's Table-1
+        convention: the access is modelled as touching the next *symbolic
+        placeholder line* of the array (``decis_lev[1*]``, ``[2*]``, ...).
+
+        An array of ``m`` blocks has ``m`` placeholders, which bounds the
+        total cache pressure the analysis attributes to index-unknown
+        accesses by the array's real footprint rather than by the number of
+        accesses.  Once every placeholder is present the plain must state
+        has no way to tell which existing line was re-used, so it falls
+        back to the conservative age-everyone rule (the shadow-variable
+        state refines exactly this case).
+        """
+        if self.is_bottom:
+            return self
+        for placeholder in placeholder_blocks(symbol, num_blocks):
+            if placeholder not in self.ages:
+                return self.access_block(placeholder)
+        return self.access_unknown()
+
+    # ------------------------------------------------------------------
+    # Lattice operations
+    # ------------------------------------------------------------------
+    def join(self, other: "CacheState") -> "CacheState":
+        """Pointwise maximum of ages (Figure 5): a block is guaranteed
+        cached after the join only if it is guaranteed cached in both
+        incoming states."""
+        self._check_compatible(other)
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        new_ages: dict[MemoryBlock, int] = {}
+        for block, age in self.ages.items():
+            other_age = other.ages.get(block)
+            if other_age is not None:
+                new_ages[block] = max(age, other_age)
+        return CacheState(num_lines=self.num_lines, ages=new_ages)
+
+    def widen(self, previous: "CacheState") -> "CacheState":
+        """Widening: any age that grew since ``previous`` jumps to infinity.
+
+        ``self`` is the new (already joined) state, ``previous`` the state
+        stored at the widening point on the previous iteration.
+        """
+        self._check_compatible(previous)
+        if previous.is_bottom or self.is_bottom:
+            return self
+        new_ages: dict[MemoryBlock, int] = {}
+        for block, age in self.ages.items():
+            previous_age = previous.ages.get(block)
+            if previous_age is None:
+                # The block was not guaranteed cached before; keep the new
+                # bound (it can only have been introduced by a transfer).
+                new_ages[block] = age
+            elif age > previous_age:
+                # Growing: extrapolate to "evicted".
+                continue
+            else:
+                new_ages[block] = age
+        return CacheState(num_lines=self.num_lines, ages=new_ages)
+
+    def leq(self, other: "CacheState") -> bool:
+        """Partial order: ``self ⊑ other`` iff self is at least as precise."""
+        self._check_compatible(other)
+        if self.is_bottom:
+            return True
+        if other.is_bottom:
+            return False
+        for block, other_age in other.ages.items():
+            if self.ages.get(block, AGE_INFINITY) > other_age:
+                return False
+        return True
+
+    def _check_compatible(self, other: "CacheState") -> None:
+        if self.num_lines != other.num_lines:
+            raise ValueError(
+                f"incompatible cache states: {self.num_lines} vs {other.num_lines} lines"
+            )
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CacheState):
+            return NotImplemented
+        return (
+            self.num_lines == other.num_lines
+            and self.is_bottom == other.is_bottom
+            and self.ages == other.ages
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - states are not hashed in hot paths
+        return hash((self.num_lines, self.is_bottom, frozenset(self.ages.items())))
+
+    def __repr__(self) -> str:
+        if self.is_bottom:
+            return f"CacheState(⊥, {self.num_lines} lines)"
+        items = ", ".join(
+            f"{block}:{age}" for block, age in sorted(self.ages.items(), key=lambda i: (i[1], str(i[0])))
+        )
+        return f"CacheState({{{items}}})"
+
+    def describe(self) -> str:
+        """A Table-1-style listing: blocks ordered youngest to oldest."""
+        if self.is_bottom:
+            return "⊥"
+        ordered = sorted(self.ages.items(), key=lambda item: (item[1], str(item[0])))
+        return "{" + ", ".join(f"{block}@{age}" for block, age in ordered) + "}"

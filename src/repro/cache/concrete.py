@@ -1,0 +1,141 @@
+"""Concrete LRU cache simulator.
+
+This is the ground-truth model used by the speculative execution
+simulator (the repository's GEM5 substitute) and by the soundness tests:
+the abstract must-hit analysis may never claim a hit for an access that
+misses in any concrete execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.config import CacheConfig
+from repro.ir.memory import MemoryBlock
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, split by whether the access was speculative."""
+
+    hits: int = 0
+    misses: int = 0
+    speculative_hits: int = 0
+    speculative_misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def observable_misses(self) -> int:
+        """Misses visible to an outside observer (non-speculative ones).
+
+        Speculative misses overlap with the branch-resolution latency and
+        are therefore "masked by the pipeline" in the paper's wording.
+        """
+        return self.misses - self.speculative_misses
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            speculative_hits=self.speculative_hits + other.speculative_hits,
+            speculative_misses=self.speculative_misses + other.speculative_misses,
+        )
+
+
+@dataclass
+class ConcreteCache:
+    """A set-associative (or fully associative) LRU cache of memory blocks."""
+
+    config: CacheConfig = field(default_factory=CacheConfig)
+
+    def __post_init__(self) -> None:
+        # One LRU list per set; index 0 is the most recently used entry.
+        self._sets: list[list[MemoryBlock]] = [[] for _ in range(self.config.num_sets)]
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def _set_index(self, block: MemoryBlock) -> int:
+        if self.config.num_sets == 1:
+            return 0
+        return hash((block.symbol, block.index)) % self.config.num_sets
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def access(self, block: MemoryBlock, speculative: bool = False) -> bool:
+        """Access ``block``; return True on a hit.
+
+        The update is identical for loads and stores (write-allocate).
+        Speculative accesses update the cache exactly like normal ones —
+        that is the whole point of the paper — but are counted separately.
+        """
+        lru = self._sets[self._set_index(block)]
+        hit = block in lru
+        if hit:
+            lru.remove(block)
+            lru.insert(0, block)
+            self.stats.hits += 1
+            if speculative:
+                self.stats.speculative_hits += 1
+        else:
+            lru.insert(0, block)
+            if len(lru) > self.config.ways:
+                lru.pop()
+            self.stats.misses += 1
+            if speculative:
+                self.stats.speculative_misses += 1
+        return hit
+
+    def probe(self, block: MemoryBlock) -> bool:
+        """Return whether ``block`` is currently cached, without updating LRU."""
+        return block in self._sets[self._set_index(block)]
+
+    def age_of(self, block: MemoryBlock) -> int | None:
+        """Return the LRU age (1 = youngest) of ``block`` or None if absent.
+
+        Only meaningful for fully associative configurations, where it is
+        directly comparable with the abstract state's ages.
+        """
+        lru = self._sets[self._set_index(block)]
+        try:
+            return lru.index(block) + 1
+        except ValueError:
+            return None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def contents(self) -> list[MemoryBlock]:
+        """All cached blocks, youngest first within each set."""
+        blocks: list[MemoryBlock] = []
+        for lru in self._sets:
+            blocks.extend(lru)
+        return blocks
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(lru) for lru in self._sets)
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+    def clear(self) -> None:
+        self._sets = [[] for _ in range(self.config.num_sets)]
+        self.reset_stats()
+
+    def clone(self) -> "ConcreteCache":
+        """Deep copy (used by tests to compare what-if scenarios)."""
+        copy = ConcreteCache(config=self.config)
+        copy._sets = [list(lru) for lru in self._sets]
+        copy.stats = CacheStats(
+            hits=self.stats.hits,
+            misses=self.stats.misses,
+            speculative_hits=self.stats.speculative_hits,
+            speculative_misses=self.stats.speculative_misses,
+        )
+        return copy

@@ -1,0 +1,68 @@
+"""Cache configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and policy of the modelled data cache.
+
+    The paper's evaluation platform is an Alpha 21264-style 32-KB data
+    cache: 512 lines of 64 bytes, fully associative, LRU replacement —
+    which is the default here.  ``associativity=None`` means fully
+    associative; the abstract analysis always models the cache as fully
+    associative (a sound choice the paper also makes), while the concrete
+    simulator honours set associativity when it is given.
+    """
+
+    num_lines: int = 512
+    line_size: int = 64
+    associativity: int | None = None
+    hit_latency: int = 2
+    miss_penalty: int = 100
+
+    def __post_init__(self) -> None:
+        if self.num_lines <= 0:
+            raise ConfigError(f"num_lines must be positive, got {self.num_lines}")
+        if self.line_size <= 0:
+            raise ConfigError(f"line_size must be positive, got {self.line_size}")
+        if self.associativity is not None:
+            if self.associativity <= 0:
+                raise ConfigError(
+                    f"associativity must be positive, got {self.associativity}"
+                )
+            if self.num_lines % self.associativity != 0:
+                raise ConfigError(
+                    "num_lines must be a multiple of associativity "
+                    f"({self.num_lines} % {self.associativity} != 0)"
+                )
+        if self.hit_latency < 0 or self.miss_penalty < 0:
+            raise ConfigError("latencies must be non-negative")
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_lines * self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        if self.associativity is None:
+            return 1
+        return self.num_lines // self.associativity
+
+    @property
+    def ways(self) -> int:
+        return self.num_lines if self.associativity is None else self.associativity
+
+    @classmethod
+    def paper_default(cls) -> "CacheConfig":
+        """The configuration used throughout the paper's evaluation."""
+        return cls(num_lines=512, line_size=64, associativity=None)
+
+    @classmethod
+    def small(cls, num_lines: int = 4, line_size: int = 64) -> "CacheConfig":
+        """A tiny cache, handy for unit tests and the paper's figures."""
+        return cls(num_lines=num_lines, line_size=line_size, associativity=None)

@@ -1,0 +1,286 @@
+"""Refined abstract cache state with shadow variables (Section 6.3,
+Appendix B).
+
+In addition to the must-ages of :class:`~repro.cache.abstract.CacheState`
+(upper bound on the age along *all* paths), this state tracks for every
+block a *shadow* (may) age: a lower bound on the youngest position the
+block may occupy along *some* path.  The shadow ages are used to refine
+the aging rule: a block ``u`` only ages when enough distinct blocks could
+actually be sitting in front of it (``NYoung(u) >= Age(u)``), which
+prevents the spurious evictions illustrated in Figure 11 and fixed in
+Figure 13.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro.cache.abstract import AGE_INFINITY
+from repro.ir.memory import AccessKind, BlockAccess, MemoryBlock, placeholder_blocks
+
+
+@dataclass(frozen=True)
+class ShadowCacheState:
+    """Must-ages plus shadow (may) ages.
+
+    ``must`` only stores blocks guaranteed cached (age <= num_lines);
+    ``may`` only stores blocks that may be cached (shadow age <= num_lines).
+    """
+
+    num_lines: int
+    must: dict[MemoryBlock, int] = field(default_factory=dict)
+    may: dict[MemoryBlock, int] = field(default_factory=dict)
+    is_bottom: bool = False
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, num_lines: int) -> "ShadowCacheState":
+        return cls(num_lines=num_lines)
+
+    @classmethod
+    def bottom(cls, num_lines: int) -> "ShadowCacheState":
+        return cls(num_lines=num_lines, is_bottom=True)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def age(self, block: MemoryBlock) -> int:
+        if self.is_bottom:
+            return AGE_INFINITY
+        return self.must.get(block, AGE_INFINITY)
+
+    def shadow_age(self, block: MemoryBlock) -> int:
+        if self.is_bottom:
+            return AGE_INFINITY
+        return self.may.get(block, AGE_INFINITY)
+
+    def must_hit(self, block: MemoryBlock) -> bool:
+        return not self.is_bottom and block in self.must
+
+    def must_hit_access(self, access: BlockAccess) -> bool:
+        if self.is_bottom:
+            return False
+        return all(block in self.must for block in access.blocks)
+
+    def cached_blocks(self) -> set[MemoryBlock]:
+        return set(self.must)
+
+    def may_cached_blocks(self) -> set[MemoryBlock]:
+        return set(self.may)
+
+    # ------------------------------------------------------------------
+    # Transfer
+    # ------------------------------------------------------------------
+    def access(self, access: BlockAccess) -> "ShadowCacheState":
+        if self.is_bottom:
+            return self
+        if access.kind is AccessKind.CONCRETE:
+            return self.access_block(access.concrete_block)
+        if access.kind is AccessKind.SECRET:
+            # Fully conservative: the side-channel verdict about this access
+            # must never benefit from optimistic assumptions.
+            return self.access_unknown(access.blocks)
+        return self.access_unknown_array(access.symbol, access.blocks)
+
+    def access_block(self, block: MemoryBlock) -> "ShadowCacheState":
+        """Appendix B transfer for a statically known block."""
+        if self.is_bottom:
+            return self
+        old_must_age = self.age(block)
+        old_shadow_age = self.shadow_age(block)
+
+        # Step 1: update the shadow (may) component.
+        new_may: dict[MemoryBlock, int] = {}
+        for other, shadow_age in self.may.items():
+            if other == block:
+                continue
+            if shadow_age <= old_shadow_age:
+                aged = shadow_age + 1
+                if aged <= self.num_lines:
+                    new_may[other] = aged
+            else:
+                new_may[other] = shadow_age
+        new_may[block] = 1
+
+        # Step 2: update the must component using NYoung computed on the
+        # *new* shadow ages.  NYoung(u) is "how many blocks may sit at age
+        # <= Age(u)"; a sorted list of the new shadow ages turns each query
+        # into a binary search instead of a scan over the whole may-set.
+        sorted_shadow_ages = sorted(new_may.values())
+        new_must: dict[MemoryBlock, int] = {}
+        for other, must_age in self.must.items():
+            if other == block:
+                continue
+            if must_age < old_must_age:
+                n_young = bisect_right(sorted_shadow_ages, must_age)
+                if new_may.get(other, AGE_INFINITY) <= must_age:
+                    n_young -= 1  # a block is never younger than itself
+                if n_young >= must_age:
+                    aged = must_age + 1
+                    if aged <= self.num_lines:
+                        new_must[other] = aged
+                else:
+                    new_must[other] = must_age
+            else:
+                new_must[other] = must_age
+        new_must[block] = 1
+        return ShadowCacheState(num_lines=self.num_lines, must=new_must, may=new_may)
+
+    def access_unknown(self, candidate_blocks: tuple[MemoryBlock, ...]) -> "ShadowCacheState":
+        """Access whose target is one of ``candidate_blocks`` but unknown.
+
+        Must component: every bound grows by one (sound, as in the plain
+        state).  May component: every candidate block may now be the
+        youngest line, so its shadow age drops to 1 (this only ever makes
+        ``NYoung`` larger, i.e. the refinement more conservative).
+        """
+        if self.is_bottom:
+            return self
+        new_must: dict[MemoryBlock, int] = {}
+        for block, age in self.must.items():
+            aged = age + 1
+            if aged <= self.num_lines:
+                new_must[block] = aged
+        new_may = dict(self.may)
+        for block in candidate_blocks:
+            new_may[block] = 1
+        return ShadowCacheState(num_lines=self.num_lines, must=new_must, may=new_may)
+
+    def access_unknown_array(
+        self, symbol: str, candidate_blocks: tuple[MemoryBlock, ...]
+    ) -> "ShadowCacheState":
+        """Unknown-index access using the Table-1 placeholder convention,
+        refined with shadow-variable information.
+
+        While unused placeholders remain, the access is modelled as loading
+        the next placeholder line (a plain concrete-block transfer).  Once
+        all placeholders are resident the access necessarily re-uses one of
+        the array's existing lines, whose age is bounded by the oldest
+        placeholder; a block ``u`` therefore only needs to age when it may
+        actually be older than that line, i.e. when its shadow (may) age
+        does not already exceed the bound.
+        """
+        if self.is_bottom:
+            return self
+        placeholders = placeholder_blocks(symbol, len(candidate_blocks))
+        for placeholder in placeholders:
+            if placeholder not in self.must:
+                state = self.access_block(placeholder)
+                new_may = dict(state.may)
+                for block in candidate_blocks:
+                    new_may[block] = 1
+                return ShadowCacheState(
+                    num_lines=self.num_lines, must=dict(state.must), may=new_may
+                )
+        bound = max(self.must[placeholder] for placeholder in placeholders)
+        placeholder_set = set(placeholders)
+        new_must: dict[MemoryBlock, int] = {}
+        for block, age in self.must.items():
+            if block in placeholder_set:
+                # The array's own footprint does not grow by re-accessing it;
+                # keeping the placeholder bounds is what lets Table 1's loop
+                # converge with decis_lev[1*]/[2*] still resident.
+                new_must[block] = age
+                continue
+            if self.may.get(block, AGE_INFINITY) > bound:
+                new_must[block] = age
+                continue
+            aged = age + 1
+            if aged <= self.num_lines:
+                new_must[block] = aged
+        new_may = dict(self.may)
+        for block in candidate_blocks:
+            new_may[block] = 1
+        return ShadowCacheState(num_lines=self.num_lines, must=new_must, may=new_may)
+
+    # ------------------------------------------------------------------
+    # Lattice operations
+    # ------------------------------------------------------------------
+    def join(self, other: "ShadowCacheState") -> "ShadowCacheState":
+        """Must: pointwise max (intersection).  May: pointwise min (union)."""
+        self._check_compatible(other)
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        new_must: dict[MemoryBlock, int] = {}
+        for block, age in self.must.items():
+            other_age = other.must.get(block)
+            if other_age is not None:
+                new_must[block] = max(age, other_age)
+        new_may: dict[MemoryBlock, int] = dict(other.may)
+        for block, age in self.may.items():
+            existing = new_may.get(block)
+            new_may[block] = age if existing is None else min(age, existing)
+        return ShadowCacheState(num_lines=self.num_lines, must=new_must, may=new_may)
+
+    def widen(self, previous: "ShadowCacheState") -> "ShadowCacheState":
+        """Widen the must component (growing ages jump to infinity); the may
+        component is kept as-is — its lattice is finite, so convergence
+        does not depend on widening it."""
+        self._check_compatible(previous)
+        if previous.is_bottom or self.is_bottom:
+            return self
+        new_must: dict[MemoryBlock, int] = {}
+        for block, age in self.must.items():
+            previous_age = previous.must.get(block)
+            if previous_age is None:
+                new_must[block] = age
+            elif age > previous_age:
+                continue
+            else:
+                new_must[block] = age
+        return ShadowCacheState(num_lines=self.num_lines, must=new_must, may=dict(self.may))
+
+    def leq(self, other: "ShadowCacheState") -> bool:
+        self._check_compatible(other)
+        if self.is_bottom:
+            return True
+        if other.is_bottom:
+            return False
+        for block, other_age in other.must.items():
+            if self.must.get(block, AGE_INFINITY) > other_age:
+                return False
+        for block, age in self.may.items():
+            if other.may.get(block, AGE_INFINITY) > age:
+                return False
+        return True
+
+    def _check_compatible(self, other: "ShadowCacheState") -> None:
+        if self.num_lines != other.num_lines:
+            raise ValueError(
+                f"incompatible cache states: {self.num_lines} vs {other.num_lines} lines"
+            )
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ShadowCacheState):
+            return NotImplemented
+        return (
+            self.num_lines == other.num_lines
+            and self.is_bottom == other.is_bottom
+            and self.must == other.must
+            and self.may == other.may
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover
+        return hash(
+            (
+                self.num_lines,
+                self.is_bottom,
+                frozenset(self.must.items()),
+                frozenset(self.may.items()),
+            )
+        )
+
+    def __repr__(self) -> str:
+        if self.is_bottom:
+            return f"ShadowCacheState(⊥, {self.num_lines} lines)"
+        must = ", ".join(f"{b}:{a}" for b, a in sorted(self.must.items(), key=lambda i: (i[1], str(i[0]))))
+        may = ", ".join(f"∃{b}:{a}" for b, a in sorted(self.may.items(), key=lambda i: (i[1], str(i[0]))))
+        return f"ShadowCacheState(must={{{must}}}, may={{{may}}})"

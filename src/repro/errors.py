@@ -1,0 +1,61 @@
+"""Common exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing front-end errors (bad MiniC source) from analysis
+configuration errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SourceError(ReproError):
+    """An error attributable to the MiniC source program.
+
+    Carries an optional source location so tools can point at the
+    offending token.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class LexerError(SourceError):
+    """Raised when the lexer encounters an unrecognised character."""
+
+
+class ParseError(SourceError):
+    """Raised when the parser encounters an unexpected token."""
+
+
+class TypeError_(SourceError):
+    """Raised by the type checker (named with a trailing underscore to
+    avoid shadowing the builtin)."""
+
+
+class LoweringError(ReproError):
+    """Raised when the AST-to-IR lowering encounters an unsupported form."""
+
+
+class CFGError(ReproError):
+    """Raised for malformed control-flow graphs."""
+
+
+class AnalysisError(ReproError):
+    """Raised when an analysis is configured or driven incorrectly."""
+
+
+class SimulationError(ReproError):
+    """Raised by the concrete interpreter / speculative simulator."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid cache or speculation configuration values."""

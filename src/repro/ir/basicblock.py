@@ -1,0 +1,50 @@
+"""Basic blocks of the IR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.instructions import Instruction, MemoryRef, Terminator
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line sequence of instructions ending in a
+    terminator."""
+
+    name: str
+    instructions: list[Instruction] = field(default_factory=list)
+    terminator: Terminator | None = None
+
+    def append(self, instruction: Instruction) -> None:
+        self.instructions.append(instruction)
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    def memory_refs(self) -> list[MemoryRef]:
+        """All memory references performed by the block, in program order."""
+        refs: list[MemoryRef] = []
+        for instruction in self.instructions:
+            refs.extend(instruction.memory_refs())
+        if self.terminator is not None:
+            refs.extend(self.terminator.memory_refs())
+        return refs
+
+    @property
+    def instruction_count(self) -> int:
+        """Number of instructions including the terminator.
+
+        Used as the unit for the speculation-depth bound, mirroring the
+        paper's "number of speculatively executed instructions".
+        """
+        return len(self.instructions) + (1 if self.terminator is not None else 0)
+
+    def __str__(self) -> str:
+        lines = [f"{self.name}:"]
+        for instruction in self.instructions:
+            lines.append(f"  {instruction}")
+        if self.terminator is not None:
+            lines.append(f"  {self.terminator}")
+        return "\n".join(lines)

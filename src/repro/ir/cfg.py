@@ -1,0 +1,186 @@
+"""Control-flow graph built from basic blocks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CFGError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.instructions import CondBranch, Jump, MemoryRef, Return, Terminator
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A CFG edge, optionally labelled with the branch outcome that takes it."""
+
+    source: str
+    target: str
+    taken: bool | None = None  # True/False for conditional edges, None otherwise
+
+    def __str__(self) -> str:
+        label = "" if self.taken is None else (" [T]" if self.taken else " [F]")
+        return f"{self.source} -> {self.target}{label}"
+
+
+@dataclass
+class CFG:
+    """A function's control-flow graph.
+
+    Blocks are kept in an ordered dict; the entry block is always present.
+    Blocks terminated by :class:`Return` are the exit blocks.
+    """
+
+    name: str
+    entry: str = "entry"
+    blocks: dict[str, BasicBlock] = field(default_factory=dict)
+    params: list[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        if block.name in self.blocks:
+            raise CFGError(f"duplicate block {block.name!r} in {self.name!r}")
+        self.blocks[block.name] = block
+        return block
+
+    def block(self, name: str) -> BasicBlock:
+        try:
+            return self.blocks[name]
+        except KeyError as exc:
+            raise CFGError(f"unknown block {name!r} in {self.name!r}") from exc
+
+    # ------------------------------------------------------------------
+    # Graph queries
+    # ------------------------------------------------------------------
+    def successors(self, name: str) -> list[str]:
+        terminator = self.block(name).terminator
+        if terminator is None:
+            return []
+        return [target for target in terminator.targets()]
+
+    def predecessors(self, name: str) -> list[str]:
+        preds = []
+        for block_name in self.blocks:
+            if name in self.successors(block_name):
+                preds.append(block_name)
+        return preds
+
+    def edges(self) -> list[Edge]:
+        result: list[Edge] = []
+        for name, block in self.blocks.items():
+            terminator = block.terminator
+            if isinstance(terminator, CondBranch):
+                result.append(Edge(name, terminator.true_target, taken=True))
+                result.append(Edge(name, terminator.false_target, taken=False))
+            elif isinstance(terminator, Jump):
+                result.append(Edge(name, terminator.target))
+        return result
+
+    def exit_blocks(self) -> list[str]:
+        return [
+            name
+            for name, block in self.blocks.items()
+            if isinstance(block.terminator, Return)
+        ]
+
+    def conditional_blocks(self) -> list[str]:
+        """Blocks terminated by a conditional branch (speculation sources)."""
+        return [
+            name
+            for name, block in self.blocks.items()
+            if isinstance(block.terminator, CondBranch)
+        ]
+
+    # ------------------------------------------------------------------
+    # Traversals
+    # ------------------------------------------------------------------
+    def reachable_blocks(self) -> list[str]:
+        """Blocks reachable from the entry, in depth-first discovery order."""
+        seen: list[str] = []
+        seen_set: set[str] = set()
+        stack = [self.entry]
+        while stack:
+            name = stack.pop()
+            if name in seen_set:
+                continue
+            seen_set.add(name)
+            seen.append(name)
+            for successor in reversed(self.successors(name)):
+                if successor not in seen_set:
+                    stack.append(successor)
+        return seen
+
+    def reverse_postorder(self) -> list[str]:
+        """Blocks in reverse postorder (a good worklist iteration order)."""
+        visited: set[str] = set()
+        postorder: list[str] = []
+
+        def visit(name: str) -> None:
+            stack: list[tuple[str, int]] = [(name, 0)]
+            while stack:
+                current, index = stack.pop()
+                if index == 0:
+                    if current in visited:
+                        continue
+                    visited.add(current)
+                successors = self.successors(current)
+                if index < len(successors):
+                    stack.append((current, index + 1))
+                    successor = successors[index]
+                    if successor not in visited:
+                        stack.append((successor, 0))
+                else:
+                    postorder.append(current)
+
+        visit(self.entry)
+        return list(reversed(postorder))
+
+    # ------------------------------------------------------------------
+    # Whole-function queries
+    # ------------------------------------------------------------------
+    def all_memory_refs(self) -> list[MemoryRef]:
+        refs: list[MemoryRef] = []
+        for name in self.reachable_blocks():
+            refs.extend(self.block(name).memory_refs())
+        return refs
+
+    def referenced_symbols(self) -> set[str]:
+        return {ref.symbol for ref in self.all_memory_refs()}
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(block.instruction_count for block in self.blocks.values())
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants, raising :class:`CFGError` if violated."""
+        if self.entry not in self.blocks:
+            raise CFGError(f"entry block {self.entry!r} missing from {self.name!r}")
+        for name, block in self.blocks.items():
+            if block.name != name:
+                raise CFGError(f"block key {name!r} does not match block name {block.name!r}")
+            if block.terminator is None:
+                raise CFGError(f"block {name!r} has no terminator")
+            for target in block.terminator.targets():
+                if target not in self.blocks:
+                    raise CFGError(
+                        f"block {name!r} branches to unknown block {target!r}"
+                    )
+        if not self.exit_blocks():
+            raise CFGError(f"function {self.name!r} has no return block")
+
+    def copy_of_terminator(self, name: str) -> Terminator:
+        """Return the terminator of ``name`` (useful for rewriting passes)."""
+        terminator = self.block(name).terminator
+        if terminator is None:
+            raise CFGError(f"block {name!r} has no terminator")
+        return terminator
+
+    def __str__(self) -> str:
+        parts = [f"function {self.name}({', '.join(self.params)})"]
+        for name in self.reachable_blocks():
+            parts.append(str(self.block(name)))
+        return "\n".join(parts)

@@ -1,0 +1,130 @@
+"""Dominator and post-dominator computation.
+
+The speculative VCFG construction needs post-dominators to find the
+control-flow merge point of a branch (where Just-in-Time merging converts
+the speculative state back into the normal state), and natural-loop
+detection needs dominators to identify back edges.
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import CFG
+
+#: Name of the virtual exit node used for post-dominator computation when a
+#: function has several return blocks.
+VIRTUAL_EXIT = "__virtual_exit__"
+
+
+def _iterative_dominators(
+    nodes: list[str],
+    entry: str,
+    predecessors: dict[str, list[str]],
+) -> dict[str, set[str]]:
+    """Classic iterative dominator-set computation."""
+    all_nodes = set(nodes)
+    dom: dict[str, set[str]] = {node: set(all_nodes) for node in nodes}
+    dom[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for node in nodes:
+            if node == entry:
+                continue
+            preds = [pred for pred in predecessors.get(node, []) if pred in all_nodes]
+            if preds:
+                new_dom = set(all_nodes)
+                for pred in preds:
+                    new_dom &= dom[pred]
+            else:
+                new_dom = set()
+            new_dom.add(node)
+            if new_dom != dom[node]:
+                dom[node] = new_dom
+                changed = True
+    return dom
+
+
+def compute_dominators(cfg: CFG) -> dict[str, set[str]]:
+    """Return, for every reachable block, the set of blocks dominating it."""
+    nodes = cfg.reachable_blocks()
+    predecessors = {node: cfg.predecessors(node) for node in nodes}
+    return _iterative_dominators(nodes, cfg.entry, predecessors)
+
+
+def immediate_dominators(cfg: CFG) -> dict[str, str | None]:
+    """Return the immediate dominator of every reachable block."""
+    dom = compute_dominators(cfg)
+    idom: dict[str, str | None] = {}
+    for node, dominators in dom.items():
+        strict = dominators - {node}
+        idom[node] = None
+        for candidate in strict:
+            # The immediate dominator is the strict dominator that is
+            # dominated by every other strict dominator.
+            if all(candidate in dom[other] for other in strict):
+                idom[node] = candidate
+                break
+    return idom
+
+
+def compute_postdominators(cfg: CFG) -> dict[str, set[str]]:
+    """Return, for every reachable block, the set of blocks post-dominating it.
+
+    A virtual exit node (``VIRTUAL_EXIT``) is used to join all return
+    blocks; it appears in the result sets but is not a real block.
+    """
+    nodes = cfg.reachable_blocks()
+    exits = [node for node in cfg.exit_blocks() if node in nodes]
+    # Build the reverse graph including the virtual exit.
+    reverse_succ: dict[str, list[str]] = {node: [] for node in nodes}
+    reverse_succ[VIRTUAL_EXIT] = []
+    for node in nodes:
+        for successor in cfg.successors(node):
+            if successor in reverse_succ:
+                reverse_succ[successor].append(node)
+    for exit_node in exits:
+        reverse_succ[exit_node].append(VIRTUAL_EXIT)
+    # In the reversed graph "predecessors" are the original successors plus
+    # the virtual-exit wiring above.
+    all_nodes = nodes + [VIRTUAL_EXIT]
+    predecessors_in_reverse: dict[str, list[str]] = {node: [] for node in all_nodes}
+    for node in nodes:
+        successors = list(cfg.successors(node))
+        if node in exits:
+            successors.append(VIRTUAL_EXIT)
+        predecessors_in_reverse[node] = successors
+    predecessors_in_reverse[VIRTUAL_EXIT] = []
+    return _iterative_dominators(all_nodes, VIRTUAL_EXIT, predecessors_in_reverse)
+
+
+def immediate_postdominator(cfg: CFG, block: str) -> str | None:
+    """Return the nearest real block that post-dominates ``block``.
+
+    Returns ``None`` when the only post-dominator is the virtual exit
+    (i.e. the branch never reconverges before returning).
+    """
+    pdom = compute_postdominators(cfg)
+    candidates = pdom.get(block, set()) - {block, VIRTUAL_EXIT}
+    if not candidates:
+        return None
+    # The immediate post-dominator is the candidate post-dominated by all
+    # other candidates.
+    for candidate in candidates:
+        if all(candidate in pdom[other] for other in candidates if other != candidate):
+            return candidate
+    return None
+
+
+def common_postdominator(cfg: CFG, left: str, right: str) -> str | None:
+    """Return the nearest block post-dominating both ``left`` and ``right``."""
+    pdom = compute_postdominators(cfg)
+    common = (pdom.get(left, set()) & pdom.get(right, set())) - {VIRTUAL_EXIT}
+    common -= {left, right}
+    if not common:
+        return None
+    for candidate in common:
+        if all(candidate in pdom[other] for other in common if other != candidate):
+            return candidate
+    # Fall back to any common post-dominator (the analysis only needs a
+    # sound merge point, not necessarily the nearest one).
+    return sorted(common)[0]

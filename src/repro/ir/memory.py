@@ -1,0 +1,207 @@
+"""Memory layout: mapping program symbols to cache-line-sized blocks.
+
+The cache analysis does not track bytes; it tracks *memory blocks*, i.e.
+cache-line-sized chunks of program objects.  A scalar occupies one block;
+an array of ``s`` bytes occupies ``ceil(s / line_size)`` blocks.  Objects
+never share a block (each object starts at a line boundary), matching the
+paper's assumption that the example variables "are mapped to different
+cache lines".
+
+Array accesses whose index is statically unknown are resolved using the
+paper's convention from Table 1: successive unknown accesses to the same
+array conservatively pick successive fresh lines (``decis_lev[1*]``,
+``decis_lev[2*]``, ...).  That bookkeeping lives in the analysis; this
+module only says *which* blocks an access may touch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+from repro.errors import ConfigError
+from repro.ir.instructions import MemoryRef
+from repro.lang.typecheck import ProgramInfo, Symbol
+
+
+@dataclass(frozen=True, order=True)
+class MemoryBlock:
+    """One cache-line-sized block of a program object.
+
+    ``index`` is the block's position within its object (0 for scalars).
+    Negative indices denote the *symbolic placeholder lines* used for
+    accesses whose element index is statically unknown — the paper's
+    ``decis_lev[1*]``, ``decis_lev[2*]`` convention from Table 1 (index
+    ``-k`` is the k-th placeholder).
+    """
+
+    symbol: str
+    index: int = 0
+
+    @property
+    def is_placeholder(self) -> bool:
+        return self.index < 0
+
+    def __str__(self) -> str:
+        if self.index < 0:
+            return f"{self.symbol}[{-self.index}*]"
+        if self.index == 0:
+            return self.symbol
+        return f"{self.symbol}#{self.index}"
+
+
+def placeholder_blocks(symbol: str, num_blocks: int) -> list[MemoryBlock]:
+    """The symbolic placeholder lines of an object (one per real block)."""
+    return [MemoryBlock(symbol, -(k + 1)) for k in range(num_blocks)]
+
+
+class AccessKind(Enum):
+    """How precisely an access's target block is known."""
+
+    CONCRETE = auto()   # exactly one known block
+    UNKNOWN = auto()    # some block of the object, index not statically known
+    SECRET = auto()     # some block of the object, index derived from a secret
+
+
+@dataclass(frozen=True)
+class BlockAccess:
+    """A resolved memory access.
+
+    ``blocks`` always lists every block the access *may* touch; for
+    :data:`AccessKind.CONCRETE` accesses it has exactly one element.
+    """
+
+    kind: AccessKind
+    symbol: str
+    blocks: tuple[MemoryBlock, ...]
+    is_write: bool
+    ref: MemoryRef
+
+    @property
+    def concrete_block(self) -> MemoryBlock:
+        if self.kind is not AccessKind.CONCRETE:
+            raise ValueError(f"access to {self.symbol!r} is not concrete")
+        return self.blocks[0]
+
+
+@dataclass
+class ObjectLayout:
+    """Placement of one program object (scalar or array)."""
+
+    symbol: Symbol
+    num_blocks: int
+
+    @property
+    def name(self) -> str:
+        return self.symbol.name
+
+    def blocks(self) -> list[MemoryBlock]:
+        return [MemoryBlock(self.symbol.name, index) for index in range(self.num_blocks)]
+
+
+@dataclass
+class MemoryLayout:
+    """Mapping from program symbols to their memory blocks."""
+
+    line_size: int
+    objects: dict[str, ObjectLayout] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_program(cls, info: ProgramInfo, line_size: int = 64) -> "MemoryLayout":
+        """Build the layout for every in-memory symbol of ``info``."""
+        if line_size <= 0:
+            raise ConfigError(f"line size must be positive, got {line_size}")
+        layout = cls(line_size=line_size)
+        for symbol in info.globals_table.local_symbols():
+            layout._add_symbol(symbol)
+        for function_info in info.functions.values():
+            for symbol in function_info.table.local_symbols():
+                layout._add_symbol(symbol)
+        return layout
+
+    def _add_symbol(self, symbol: Symbol) -> None:
+        if not symbol.in_memory:
+            return
+        if symbol.name in self.objects:
+            # Same-named locals in different functions share a layout entry;
+            # the largest footprint wins so the analysis stays conservative.
+            existing = self.objects[symbol.name]
+            num_blocks = max(existing.num_blocks, self._blocks_for(symbol))
+            self.objects[symbol.name] = ObjectLayout(symbol=symbol, num_blocks=num_blocks)
+            return
+        self.objects[symbol.name] = ObjectLayout(
+            symbol=symbol, num_blocks=self._blocks_for(symbol)
+        )
+
+    def _blocks_for(self, symbol: Symbol) -> int:
+        size = max(symbol.size_bytes, 1)
+        return (size + self.line_size - 1) // self.line_size
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def has_symbol(self, name: str) -> bool:
+        return name in self.objects
+
+    def object(self, name: str) -> ObjectLayout:
+        try:
+            return self.objects[name]
+        except KeyError as exc:
+            raise ConfigError(f"no memory layout for symbol {name!r}") from exc
+
+    def blocks_of(self, name: str) -> list[MemoryBlock]:
+        return self.object(name).blocks()
+
+    def all_blocks(self) -> list[MemoryBlock]:
+        blocks: list[MemoryBlock] = []
+        for obj in self.objects.values():
+            blocks.extend(obj.blocks())
+        return blocks
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(obj.num_blocks for obj in self.objects.values())
+
+    # ------------------------------------------------------------------
+    # Access resolution
+    # ------------------------------------------------------------------
+    def resolve(self, ref: MemoryRef) -> BlockAccess:
+        """Resolve a :class:`MemoryRef` to the blocks it may touch."""
+        obj = self.object(ref.symbol)
+        all_blocks = tuple(obj.blocks())
+        if ref.index_secret:
+            return BlockAccess(
+                kind=AccessKind.SECRET,
+                symbol=ref.symbol,
+                blocks=all_blocks,
+                is_write=ref.is_write,
+                ref=ref,
+            )
+        if ref.index_const is None:
+            return BlockAccess(
+                kind=AccessKind.UNKNOWN,
+                symbol=ref.symbol,
+                blocks=all_blocks,
+                is_write=ref.is_write,
+                ref=ref,
+            )
+        byte_offset = ref.index_const * max(ref.element_size, 1)
+        block_index = byte_offset // self.line_size
+        block_index = min(max(block_index, 0), obj.num_blocks - 1)
+        return BlockAccess(
+            kind=AccessKind.CONCRETE,
+            symbol=ref.symbol,
+            blocks=(MemoryBlock(ref.symbol, block_index),),
+            is_write=ref.is_write,
+            ref=ref,
+        )
+
+    def describe(self) -> str:
+        """Human-readable summary of the layout."""
+        lines = [f"memory layout (line size {self.line_size} bytes)"]
+        for name, obj in sorted(self.objects.items()):
+            lines.append(f"  {name}: {obj.num_blocks} block(s)")
+        return "\n".join(lines)

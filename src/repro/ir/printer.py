@@ -1,0 +1,41 @@
+"""Human-readable dumps of the IR and CFG (debugging / report aid)."""
+
+from __future__ import annotations
+
+from repro.ir.cfg import CFG
+from repro.ir.instructions import Instruction, Terminator
+
+
+def format_instruction(instruction: Instruction | Terminator) -> str:
+    """Format a single instruction or terminator."""
+    return str(instruction)
+
+
+def format_block(cfg: CFG, name: str) -> str:
+    block = cfg.block(name)
+    lines = [f"{name}:  (preds: {', '.join(cfg.predecessors(name)) or 'none'})"]
+    for instruction in block.instructions:
+        lines.append(f"    {instruction}")
+    if block.terminator is not None:
+        lines.append(f"    {block.terminator}")
+    return "\n".join(lines)
+
+
+def format_cfg(cfg: CFG) -> str:
+    """Format an entire CFG, blocks in reverse postorder."""
+    header = f"function {cfg.name}({', '.join(cfg.params)})"
+    parts = [header, "=" * len(header)]
+    for name in cfg.reverse_postorder():
+        parts.append(format_block(cfg, name))
+    return "\n".join(parts)
+
+
+def format_memory_summary(cfg: CFG) -> str:
+    """Summarise which symbols the function touches and how often."""
+    counts: dict[str, int] = {}
+    for ref in cfg.all_memory_refs():
+        counts[ref.symbol] = counts.get(ref.symbol, 0) + 1
+    lines = [f"memory accesses in {cfg.name}:"]
+    for symbol, count in sorted(counts.items(), key=lambda item: (-item[1], item[0])):
+        lines.append(f"  {symbol}: {count}")
+    return "\n".join(lines)

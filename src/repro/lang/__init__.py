@@ -1,0 +1,70 @@
+"""MiniC front end.
+
+MiniC is a small C-like language that is rich enough to express the
+cache-relevant structure of the paper's benchmarks: global arrays with
+initializers, scalar and array variables, ``for``/``while`` loops,
+``if``/``else`` branches, function definitions and calls, and two
+qualifiers that matter to the analysis:
+
+* ``reg`` — the variable is register-allocated and never touches memory
+  (the paper's ``reg char k`` in Figure 2);
+* ``secret`` — the variable holds secret data; any array access whose
+  index is tainted by a secret variable is flagged as *secret-indexed*
+  and becomes a candidate side-channel source.
+
+The public entry point is :func:`repro.lang.parse_program`.
+"""
+
+from repro.lang.ast import (
+    ArrayDecl,
+    Assign,
+    BinaryOp,
+    Block,
+    Break,
+    Call,
+    Continue,
+    ExprStatement,
+    For,
+    FunctionDef,
+    Identifier,
+    If,
+    Index,
+    IntLiteral,
+    Program,
+    Return,
+    UnaryOp,
+    VarDecl,
+    While,
+)
+from repro.lang.lexer import Lexer, tokenize
+from repro.lang.parser import Parser, parse_program
+from repro.lang.typecheck import SymbolTable, TypeChecker, check_program
+
+__all__ = [
+    "ArrayDecl",
+    "Assign",
+    "BinaryOp",
+    "Block",
+    "Break",
+    "Call",
+    "Continue",
+    "ExprStatement",
+    "For",
+    "FunctionDef",
+    "Identifier",
+    "If",
+    "Index",
+    "IntLiteral",
+    "Lexer",
+    "Parser",
+    "Program",
+    "Return",
+    "SymbolTable",
+    "TypeChecker",
+    "UnaryOp",
+    "VarDecl",
+    "While",
+    "check_program",
+    "parse_program",
+    "tokenize",
+]

@@ -1,0 +1,166 @@
+"""Hand-written lexer for MiniC.
+
+The lexer turns source text into a flat list of :class:`Token` objects.
+It understands decimal and hexadecimal integer literals, character
+literals (which become their integer codepoint), identifiers, keywords,
+and both ``//`` and ``/* ... */`` comments.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexerError
+from repro.lang.tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenType,
+)
+
+_ESCAPES = {
+    "n": ord("\n"),
+    "t": ord("\t"),
+    "r": ord("\r"),
+    "0": 0,
+    "\\": ord("\\"),
+    "'": ord("'"),
+    '"': ord('"'),
+}
+
+
+class Lexer:
+    """Converts MiniC source text into tokens."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # ------------------------------------------------------------------
+    # Character helpers
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index >= len(self.source):
+            return ""
+        return self.source[index]
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos >= len(self.source):
+                return
+            if self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _at_end(self) -> bool:
+        return self.pos >= len(self.source)
+
+    # ------------------------------------------------------------------
+    # Tokenisation
+    # ------------------------------------------------------------------
+    def tokenize(self) -> list[Token]:
+        """Return the full token stream, terminated by an EOF token."""
+        tokens: list[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self._at_end():
+                break
+            tokens.append(self._next_token())
+        tokens.append(Token(TokenType.EOF, "", self.line, self.column))
+        return tokens
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while not self._at_end():
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while not self._at_end() and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.column
+                self._advance(2)
+                while not self._at_end() and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self._at_end():
+                    raise LexerError("unterminated block comment", start_line, start_col)
+                self._advance(2)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        line, column = self.line, self.column
+        char = self._peek()
+
+        if char.isdigit():
+            return self._lex_number(line, column)
+        if char.isalpha() or char == "_":
+            return self._lex_identifier(line, column)
+        if char == "'":
+            return self._lex_char_literal(line, column)
+
+        for text, token_type in MULTI_CHAR_OPERATORS:
+            if self.source.startswith(text, self.pos):
+                self._advance(len(text))
+                return Token(token_type, text, line, column)
+
+        if char in SINGLE_CHAR_OPERATORS:
+            self._advance()
+            return Token(SINGLE_CHAR_OPERATORS[char], char, line, column)
+
+        raise LexerError(f"unexpected character {char!r}", line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+        else:
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start : self.pos]
+        # Consume (and drop) C integer suffixes such as L, UL, u.
+        while self._peek() in ("l", "L", "u", "U"):
+            self._advance()
+        return Token(TokenType.INT_LITERAL, text, line, column)
+
+    def _lex_identifier(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start : self.pos]
+        token_type = KEYWORDS.get(text, TokenType.IDENT)
+        return Token(token_type, text, line, column)
+
+    def _lex_char_literal(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        if self._at_end():
+            raise LexerError("unterminated character literal", line, column)
+        char = self._peek()
+        if char == "\\":
+            self._advance()
+            escape = self._peek()
+            if escape not in _ESCAPES:
+                raise LexerError(f"unknown escape sequence \\{escape}", line, column)
+            value = _ESCAPES[escape]
+            self._advance()
+        else:
+            value = ord(char)
+            self._advance()
+        if self._peek() != "'":
+            raise LexerError("unterminated character literal", line, column)
+        self._advance()
+        return Token(TokenType.INT_LITERAL, str(value), line, column)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize MiniC ``source`` text."""
+    return Lexer(source).tokenize()

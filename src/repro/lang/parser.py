@@ -1,0 +1,633 @@
+"""Recursive-descent parser for MiniC.
+
+The grammar is a small subset of C covering exactly what the paper's
+benchmarks need: global scalar/array declarations with constant
+initializers, function definitions, ``if``/``else``, ``while``, ``for``,
+``break``/``continue``/``return``, assignments (including ``+=``, ``-=``,
+``++`` and ``--`` sugar), and the usual expression operators.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang.ast import (
+    ArrayDecl,
+    Assign,
+    BaseType,
+    BinaryOp,
+    Block,
+    Break,
+    Call,
+    Continue,
+    Expr,
+    ExprStatement,
+    For,
+    FunctionDef,
+    Identifier,
+    If,
+    Index,
+    IntLiteral,
+    Param,
+    Program,
+    Qualifiers,
+    Return,
+    Stmt,
+    UnaryOp,
+    VarDecl,
+    While,
+)
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import Token, TokenType
+
+_TYPE_KEYWORDS = {
+    TokenType.KW_INT: BaseType.INT,
+    TokenType.KW_CHAR: BaseType.CHAR,
+    TokenType.KW_LONG: BaseType.LONG,
+    TokenType.KW_VOID: BaseType.VOID,
+}
+
+_QUALIFIER_KEYWORDS = {
+    TokenType.KW_REG,
+    TokenType.KW_SECRET,
+    TokenType.KW_CONST,
+    TokenType.KW_UNSIGNED,
+}
+
+_DECL_START = set(_TYPE_KEYWORDS) | _QUALIFIER_KEYWORDS
+
+
+class Parser:
+    """Parses a token stream into a :class:`Program`."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _check(self, token_type: TokenType) -> bool:
+        return self._peek().type is token_type
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def _match(self, *token_types: TokenType) -> Token | None:
+        if self._peek().type in token_types:
+            return self._advance()
+        return None
+
+    def _expect(self, token_type: TokenType, what: str) -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            raise ParseError(
+                f"expected {what}, found {token.value!r}", token.line, token.column
+            )
+        return self._advance()
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def parse(self) -> Program:
+        program = Program()
+        while not self._check(TokenType.EOF):
+            qualifiers, base_type = self._parse_decl_prefix()
+            name_token = self._expect(TokenType.IDENT, "identifier")
+            if self._check(TokenType.LPAREN):
+                program.functions.append(
+                    self._parse_function_rest(qualifiers, base_type, name_token)
+                )
+            else:
+                decls = self._parse_declarators_rest(qualifiers, base_type, name_token)
+                program.globals.extend(decls)
+        return program
+
+    def _parse_decl_prefix(self) -> tuple[Qualifiers, BaseType]:
+        """Parse a possibly-interleaved sequence of qualifiers and a base type."""
+        start = self._peek()
+        qualifiers = Qualifiers()
+        base_type: BaseType | None = None
+        saw_unsigned = False
+        while self._peek().type in _DECL_START:
+            token = self._advance()
+            if token.type in _TYPE_KEYWORDS:
+                base_type = _TYPE_KEYWORDS[token.type]
+            elif token.type is TokenType.KW_REG:
+                qualifiers = qualifiers.merged_with(Qualifiers(is_reg=True))
+            elif token.type is TokenType.KW_SECRET:
+                qualifiers = qualifiers.merged_with(Qualifiers(is_secret=True))
+            elif token.type is TokenType.KW_CONST:
+                qualifiers = qualifiers.merged_with(Qualifiers(is_const=True))
+            elif token.type is TokenType.KW_UNSIGNED:
+                saw_unsigned = True
+        if base_type is None:
+            if saw_unsigned:
+                base_type = BaseType.INT
+            else:
+                raise ParseError(
+                    f"expected a type, found {start.value!r}", start.line, start.column
+                )
+        return qualifiers, base_type
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def _parse_declarators_rest(
+        self, qualifiers: Qualifiers, base_type: BaseType, first_name: Token
+    ) -> list[VarDecl | ArrayDecl]:
+        """Parse the remainder of a declaration statement after the first
+        identifier, handling comma-separated declarator lists."""
+        decls = [self._parse_single_declarator(qualifiers, base_type, first_name)]
+        while self._match(TokenType.COMMA):
+            name_token = self._expect(TokenType.IDENT, "identifier")
+            decls.append(self._parse_single_declarator(qualifiers, base_type, name_token))
+        self._expect(TokenType.SEMICOLON, "';'")
+        return decls
+
+    def _parse_single_declarator(
+        self, qualifiers: Qualifiers, base_type: BaseType, name_token: Token
+    ) -> VarDecl | ArrayDecl:
+        name = name_token.value
+        line, column = name_token.line, name_token.column
+        if self._match(TokenType.LBRACKET):
+            length_expr = self._parse_expression()
+            length = _require_constant(length_expr, name_token)
+            self._expect(TokenType.RBRACKET, "']'")
+            init_values: list[int] | None = None
+            if self._match(TokenType.ASSIGN):
+                init_values = self._parse_array_initializer(name_token)
+            return ArrayDecl(
+                name=name,
+                base_type=base_type,
+                length=length,
+                qualifiers=qualifiers,
+                init=init_values,
+                line=line,
+                column=column,
+            )
+        init: Expr | None = None
+        if self._match(TokenType.ASSIGN):
+            init = self._parse_expression()
+        return VarDecl(
+            name=name,
+            base_type=base_type,
+            qualifiers=qualifiers,
+            init=init,
+            line=line,
+            column=column,
+        )
+
+    def _parse_array_initializer(self, context: Token) -> list[int]:
+        self._expect(TokenType.LBRACE, "'{'")
+        values: list[int] = []
+        if not self._check(TokenType.RBRACE):
+            values.append(_require_constant(self._parse_expression(), context))
+            while self._match(TokenType.COMMA):
+                if self._check(TokenType.RBRACE):
+                    break  # allow a trailing comma
+                values.append(_require_constant(self._parse_expression(), context))
+        self._expect(TokenType.RBRACE, "'}'")
+        return values
+
+    # ------------------------------------------------------------------
+    # Functions
+    # ------------------------------------------------------------------
+    def _parse_function_rest(
+        self, qualifiers: Qualifiers, return_type: BaseType, name_token: Token
+    ) -> FunctionDef:
+        del qualifiers  # qualifiers on functions are accepted and ignored
+        self._expect(TokenType.LPAREN, "'('")
+        params: list[Param] = []
+        if not self._check(TokenType.RPAREN):
+            if self._check(TokenType.KW_VOID) and self._peek(1).type is TokenType.RPAREN:
+                self._advance()
+            else:
+                params.append(self._parse_param())
+                while self._match(TokenType.COMMA):
+                    params.append(self._parse_param())
+        self._expect(TokenType.RPAREN, "')'")
+        body = self._parse_block()
+        return FunctionDef(
+            name=name_token.value,
+            return_type=return_type,
+            params=params,
+            body=body,
+            line=name_token.line,
+            column=name_token.column,
+        )
+
+    def _parse_param(self) -> Param:
+        qualifiers, base_type = self._parse_decl_prefix()
+        name_token = self._expect(TokenType.IDENT, "parameter name")
+        return Param(
+            name=name_token.value,
+            base_type=base_type,
+            qualifiers=qualifiers,
+            line=name_token.line,
+            column=name_token.column,
+        )
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _parse_block(self) -> Block:
+        open_token = self._expect(TokenType.LBRACE, "'{'")
+        statements: list[Stmt] = []
+        while not self._check(TokenType.RBRACE):
+            if self._check(TokenType.EOF):
+                raise ParseError("unterminated block", open_token.line, open_token.column)
+            statements.extend(self._parse_statement())
+        self._expect(TokenType.RBRACE, "'}'")
+        return Block(statements=statements, line=open_token.line, column=open_token.column)
+
+    def _parse_statement(self) -> list[Stmt]:
+        """Parse one statement.
+
+        Returns a list because a single declaration statement such as
+        ``int a, b;`` expands to several AST nodes.
+        """
+        token = self._peek()
+        if token.type in _DECL_START:
+            qualifiers, base_type = self._parse_decl_prefix()
+            name_token = self._expect(TokenType.IDENT, "identifier")
+            return list(self._parse_declarators_rest(qualifiers, base_type, name_token))
+        if token.type is TokenType.LBRACE:
+            return [self._parse_block()]
+        if token.type is TokenType.KW_IF:
+            return [self._parse_if()]
+        if token.type is TokenType.KW_WHILE:
+            return [self._parse_while()]
+        if token.type is TokenType.KW_FOR:
+            return [self._parse_for()]
+        if token.type is TokenType.KW_RETURN:
+            self._advance()
+            value = None
+            if not self._check(TokenType.SEMICOLON):
+                value = self._parse_expression()
+            self._expect(TokenType.SEMICOLON, "';'")
+            return [Return(value=value, line=token.line, column=token.column)]
+        if token.type is TokenType.KW_BREAK:
+            self._advance()
+            self._expect(TokenType.SEMICOLON, "';'")
+            return [Break(line=token.line, column=token.column)]
+        if token.type is TokenType.KW_CONTINUE:
+            self._advance()
+            self._expect(TokenType.SEMICOLON, "';'")
+            return [Continue(line=token.line, column=token.column)]
+        if token.type is TokenType.SEMICOLON:
+            self._advance()
+            return []
+        stmt = self._parse_simple_statement()
+        self._expect(TokenType.SEMICOLON, "';'")
+        return [stmt]
+
+    def _parse_simple_statement(self) -> Stmt:
+        """Parse an assignment or expression statement without the trailing
+        semicolon (shared by statement and ``for`` header parsing)."""
+        token = self._peek()
+        lhs = self._parse_expression()
+        if self._match(TokenType.ASSIGN):
+            value = self._parse_expression()
+            return Assign(target=lhs, value=value, line=token.line, column=token.column)
+        if self._match(TokenType.PLUS_ASSIGN):
+            value = self._parse_expression()
+            return Assign(
+                target=lhs,
+                value=BinaryOp(op="+", left=lhs, right=value, line=token.line, column=token.column),
+                line=token.line,
+                column=token.column,
+            )
+        if self._match(TokenType.MINUS_ASSIGN):
+            value = self._parse_expression()
+            return Assign(
+                target=lhs,
+                value=BinaryOp(op="-", left=lhs, right=value, line=token.line, column=token.column),
+                line=token.line,
+                column=token.column,
+            )
+        if self._match(TokenType.PLUS_PLUS):
+            one = IntLiteral(value=1, line=token.line, column=token.column)
+            return Assign(
+                target=lhs,
+                value=BinaryOp(op="+", left=lhs, right=one, line=token.line, column=token.column),
+                line=token.line,
+                column=token.column,
+            )
+        if self._match(TokenType.MINUS_MINUS):
+            one = IntLiteral(value=1, line=token.line, column=token.column)
+            return Assign(
+                target=lhs,
+                value=BinaryOp(op="-", left=lhs, right=one, line=token.line, column=token.column),
+                line=token.line,
+                column=token.column,
+            )
+        return ExprStatement(expr=lhs, line=token.line, column=token.column)
+
+    def _parse_if(self) -> If:
+        token = self._expect(TokenType.KW_IF, "'if'")
+        self._expect(TokenType.LPAREN, "'('")
+        cond = self._parse_expression()
+        self._expect(TokenType.RPAREN, "')'")
+        then_body = self._parse_statement_as_block()
+        else_body: Block | None = None
+        if self._match(TokenType.KW_ELSE):
+            else_body = self._parse_statement_as_block()
+        return If(
+            cond=cond,
+            then_body=then_body,
+            else_body=else_body,
+            line=token.line,
+            column=token.column,
+        )
+
+    def _parse_while(self) -> While:
+        token = self._expect(TokenType.KW_WHILE, "'while'")
+        self._expect(TokenType.LPAREN, "'('")
+        cond = self._parse_expression()
+        self._expect(TokenType.RPAREN, "')'")
+        body = self._parse_statement_as_block()
+        return While(cond=cond, body=body, line=token.line, column=token.column)
+
+    def _parse_for(self) -> For:
+        token = self._expect(TokenType.KW_FOR, "'for'")
+        self._expect(TokenType.LPAREN, "'('")
+        init: Stmt | None = None
+        if not self._check(TokenType.SEMICOLON):
+            if self._peek().type in _DECL_START:
+                qualifiers, base_type = self._parse_decl_prefix()
+                name_token = self._expect(TokenType.IDENT, "identifier")
+                decl = self._parse_single_declarator(qualifiers, base_type, name_token)
+                init = decl
+            else:
+                init = self._parse_simple_statement()
+        self._expect(TokenType.SEMICOLON, "';'")
+        cond: Expr | None = None
+        if not self._check(TokenType.SEMICOLON):
+            cond = self._parse_expression()
+        self._expect(TokenType.SEMICOLON, "';'")
+        step: Stmt | None = None
+        if not self._check(TokenType.RPAREN):
+            step = self._parse_simple_statement()
+        self._expect(TokenType.RPAREN, "')'")
+        body = self._parse_statement_as_block()
+        return For(
+            init=init, cond=cond, step=step, body=body, line=token.line, column=token.column
+        )
+
+    def _parse_statement_as_block(self) -> Block:
+        """Parse a statement and wrap it in a block if it is not one already."""
+        token = self._peek()
+        statements = self._parse_statement()
+        if len(statements) == 1 and isinstance(statements[0], Block):
+            return statements[0]
+        return Block(statements=statements, line=token.line, column=token.column)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def _parse_expression(self) -> Expr:
+        return self._parse_logical_or()
+
+    def _parse_logical_or(self) -> Expr:
+        expr = self._parse_logical_and()
+        while self._check(TokenType.OR_OR):
+            token = self._advance()
+            right = self._parse_logical_and()
+            expr = BinaryOp(op="||", left=expr, right=right, line=token.line, column=token.column)
+        return expr
+
+    def _parse_logical_and(self) -> Expr:
+        expr = self._parse_bit_or()
+        while self._check(TokenType.AND_AND):
+            token = self._advance()
+            right = self._parse_bit_or()
+            expr = BinaryOp(op="&&", left=expr, right=right, line=token.line, column=token.column)
+        return expr
+
+    def _parse_bit_or(self) -> Expr:
+        expr = self._parse_bit_xor()
+        while self._check(TokenType.PIPE):
+            token = self._advance()
+            right = self._parse_bit_xor()
+            expr = BinaryOp(op="|", left=expr, right=right, line=token.line, column=token.column)
+        return expr
+
+    def _parse_bit_xor(self) -> Expr:
+        expr = self._parse_bit_and()
+        while self._check(TokenType.CARET):
+            token = self._advance()
+            right = self._parse_bit_and()
+            expr = BinaryOp(op="^", left=expr, right=right, line=token.line, column=token.column)
+        return expr
+
+    def _parse_bit_and(self) -> Expr:
+        expr = self._parse_equality()
+        while self._check(TokenType.AMP):
+            token = self._advance()
+            right = self._parse_equality()
+            expr = BinaryOp(op="&", left=expr, right=right, line=token.line, column=token.column)
+        return expr
+
+    def _parse_equality(self) -> Expr:
+        expr = self._parse_relational()
+        while self._peek().type in (TokenType.EQ, TokenType.NE):
+            token = self._advance()
+            right = self._parse_relational()
+            expr = BinaryOp(
+                op=token.value, left=expr, right=right, line=token.line, column=token.column
+            )
+        return expr
+
+    def _parse_relational(self) -> Expr:
+        expr = self._parse_shift()
+        while self._peek().type in (TokenType.LT, TokenType.LE, TokenType.GT, TokenType.GE):
+            token = self._advance()
+            right = self._parse_shift()
+            expr = BinaryOp(
+                op=token.value, left=expr, right=right, line=token.line, column=token.column
+            )
+        return expr
+
+    def _parse_shift(self) -> Expr:
+        expr = self._parse_additive()
+        while self._peek().type in (TokenType.SHL, TokenType.SHR):
+            token = self._advance()
+            right = self._parse_additive()
+            expr = BinaryOp(
+                op=token.value, left=expr, right=right, line=token.line, column=token.column
+            )
+        return expr
+
+    def _parse_additive(self) -> Expr:
+        expr = self._parse_multiplicative()
+        while self._peek().type in (TokenType.PLUS, TokenType.MINUS):
+            token = self._advance()
+            right = self._parse_multiplicative()
+            expr = BinaryOp(
+                op=token.value, left=expr, right=right, line=token.line, column=token.column
+            )
+        return expr
+
+    def _parse_multiplicative(self) -> Expr:
+        expr = self._parse_unary()
+        while self._peek().type in (TokenType.STAR, TokenType.SLASH, TokenType.PERCENT):
+            token = self._advance()
+            right = self._parse_unary()
+            expr = BinaryOp(
+                op=token.value, left=expr, right=right, line=token.line, column=token.column
+            )
+        return expr
+
+    def _parse_unary(self) -> Expr:
+        token = self._peek()
+        if token.type in (TokenType.MINUS, TokenType.NOT, TokenType.TILDE, TokenType.PLUS):
+            self._advance()
+            operand = self._parse_unary()
+            if token.type is TokenType.PLUS:
+                return operand
+            return UnaryOp(op=token.value, operand=operand, line=token.line, column=token.column)
+        if token.type is TokenType.LPAREN and self._peek(1).type in _DECL_START:
+            # A C-style cast such as ``(long)detl`` — parse and discard the
+            # type, the value semantics in MiniC are untyped integers.
+            self._advance()
+            self._parse_decl_prefix()
+            self._expect(TokenType.RPAREN, "')'")
+            return self._parse_unary()
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while True:
+            if self._check(TokenType.LBRACKET):
+                if not isinstance(expr, Identifier):
+                    token = self._peek()
+                    raise ParseError(
+                        "only named arrays can be indexed", token.line, token.column
+                    )
+                bracket = self._advance()
+                index = self._parse_expression()
+                self._expect(TokenType.RBRACKET, "']'")
+                expr = Index(
+                    array=expr.name, index=index, line=bracket.line, column=bracket.column
+                )
+            elif self._check(TokenType.LPAREN):
+                if not isinstance(expr, Identifier):
+                    token = self._peek()
+                    raise ParseError("only named functions can be called", token.line, token.column)
+                paren = self._advance()
+                args: list[Expr] = []
+                if not self._check(TokenType.RPAREN):
+                    args.append(self._parse_expression())
+                    while self._match(TokenType.COMMA):
+                        args.append(self._parse_expression())
+                self._expect(TokenType.RPAREN, "')'")
+                expr = Call(name=expr.name, args=args, line=paren.line, column=paren.column)
+            else:
+                return expr
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.type is TokenType.INT_LITERAL:
+            self._advance()
+            return IntLiteral(value=_parse_int(token.value), line=token.line, column=token.column)
+        if token.type is TokenType.IDENT:
+            self._advance()
+            return Identifier(name=token.value, line=token.line, column=token.column)
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            expr = self._parse_expression()
+            self._expect(TokenType.RPAREN, "')'")
+            return expr
+        raise ParseError(f"unexpected token {token.value!r}", token.line, token.column)
+
+
+def _parse_int(text: str) -> int:
+    text = text.rstrip("uUlL")
+    if text.lower().startswith("0x"):
+        return int(text, 16)
+    return int(text, 10)
+
+
+def _require_constant(expr: Expr, context: Token) -> int:
+    """Evaluate a constant expression used in a declaration."""
+    value = _fold_constant(expr)
+    if value is None:
+        raise ParseError(
+            "expected a constant expression", context.line, context.column
+        )
+    return value
+
+
+def _fold_constant(expr: Expr) -> int | None:
+    if isinstance(expr, IntLiteral):
+        return expr.value
+    if isinstance(expr, UnaryOp):
+        inner = _fold_constant(expr.operand)
+        if inner is None:
+            return None
+        if expr.op == "-":
+            return -inner
+        if expr.op == "~":
+            return ~inner
+        if expr.op == "!":
+            return int(not inner)
+        return None
+    if isinstance(expr, BinaryOp):
+        left = _fold_constant(expr.left)
+        right = _fold_constant(expr.right)
+        if left is None or right is None:
+            return None
+        return _apply_binop(expr.op, left, right)
+    return None
+
+
+def _apply_binop(op: str, left: int, right: int) -> int | None:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        return left // right if right != 0 else None
+    if op == "%":
+        return left % right if right != 0 else None
+    if op == "<<":
+        return left << right
+    if op == ">>":
+        return left >> right
+    if op == "&":
+        return left & right
+    if op == "|":
+        return left | right
+    if op == "^":
+        return left ^ right
+    if op == "<":
+        return int(left < right)
+    if op == "<=":
+        return int(left <= right)
+    if op == ">":
+        return int(left > right)
+    if op == ">=":
+        return int(left >= right)
+    if op == "==":
+        return int(left == right)
+    if op == "!=":
+        return int(left != right)
+    if op == "&&":
+        return int(bool(left) and bool(right))
+    if op == "||":
+        return int(bool(left) or bool(right))
+    return None
+
+
+def parse_program(source: str) -> Program:
+    """Parse MiniC ``source`` text into a :class:`Program` AST."""
+    return Parser(tokenize(source)).parse()

@@ -1,0 +1,42 @@
+"""Speculative-execution substrate.
+
+* :mod:`repro.speculation.config` — speculation parameters (the paper's
+  ``bh``/``bm`` depth bounds, merge strategy, dynamic bounding switch).
+* :mod:`repro.speculation.merge` — the four merge strategies of Figure 6.
+* :mod:`repro.speculation.vcfg` — the virtual control flow: per-branch
+  speculation *scenarios* (colors) describing the speculative window, the
+  rollback edges, and the point at which the speculative state is merged
+  back into the normal state.
+* :mod:`repro.speculation.predictor` — branch predictors for the concrete
+  simulator.
+* :mod:`repro.speculation.simulator` — a concrete speculative executor
+  with rollback over the concrete LRU cache; the repository's stand-in
+  for the paper's GEM5 runs.
+"""
+
+from repro.speculation.config import SpeculationConfig
+from repro.speculation.merge import MergeStrategy
+from repro.speculation.predictor import (
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    BranchPredictor,
+    PerfectPredictor,
+)
+from repro.speculation.vcfg import SpeculationScenario, VirtualCFG, build_vcfg
+from repro.speculation.simulator import SimulationResult, SpeculativeSimulator
+
+__all__ = [
+    "AlwaysNotTakenPredictor",
+    "AlwaysTakenPredictor",
+    "BimodalPredictor",
+    "BranchPredictor",
+    "MergeStrategy",
+    "PerfectPredictor",
+    "SimulationResult",
+    "SpeculationConfig",
+    "SpeculationScenario",
+    "SpeculativeSimulator",
+    "VirtualCFG",
+    "build_vcfg",
+]

@@ -1,0 +1,67 @@
+"""Speculation parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.speculation.merge import MergeStrategy
+
+
+@dataclass(frozen=True)
+class SpeculationConfig:
+    """Parameters of the speculative-execution model.
+
+    ``depth_miss`` (the paper's ``bm``) bounds the number of speculatively
+    executed instructions when the branch condition's operands may miss in
+    the cache; ``depth_hit`` (``bh``) applies when they are proven
+    must-hits.  The paper derives 200 and 20 from GEM5 traces of the Alpha
+    21264 O3 model; the same defaults are used here.
+    """
+
+    depth_miss: int = 200
+    depth_hit: int = 20
+    merge_strategy: MergeStrategy = MergeStrategy.JUST_IN_TIME
+    dynamic_depth_bounding: bool = True
+    use_shadow_state: bool = True
+
+    def __post_init__(self) -> None:
+        if self.depth_miss < 0 or self.depth_hit < 0:
+            raise ConfigError("speculation depths must be non-negative")
+        if self.depth_hit > self.depth_miss:
+            raise ConfigError(
+                "depth_hit must not exceed depth_miss "
+                f"({self.depth_hit} > {self.depth_miss})"
+            )
+
+    @classmethod
+    def paper_default(cls) -> "SpeculationConfig":
+        """The configuration used in the paper's evaluation (Section 7)."""
+        return cls(depth_miss=200, depth_hit=20, merge_strategy=MergeStrategy.JUST_IN_TIME)
+
+    @classmethod
+    def no_speculation(cls) -> "SpeculationConfig":
+        """A degenerate configuration: zero speculation depth.
+
+        Analyses run with it coincide with the non-speculative baseline,
+        which is useful for differential testing.
+        """
+        return cls(depth_miss=0, depth_hit=0, dynamic_depth_bounding=False)
+
+    def with_strategy(self, strategy: MergeStrategy) -> "SpeculationConfig":
+        return SpeculationConfig(
+            depth_miss=self.depth_miss,
+            depth_hit=self.depth_hit,
+            merge_strategy=strategy,
+            dynamic_depth_bounding=self.dynamic_depth_bounding,
+            use_shadow_state=self.use_shadow_state,
+        )
+
+    def with_depths(self, depth_miss: int, depth_hit: int | None = None) -> "SpeculationConfig":
+        return SpeculationConfig(
+            depth_miss=depth_miss,
+            depth_hit=min(self.depth_hit if depth_hit is None else depth_hit, depth_miss),
+            merge_strategy=self.merge_strategy,
+            dynamic_depth_bounding=self.dynamic_depth_bounding,
+            use_shadow_state=self.use_shadow_state,
+        )

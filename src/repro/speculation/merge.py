@@ -1,0 +1,65 @@
+"""Merge strategies for speculative control flows (Figure 6 of the paper).
+
+The strategies differ along two axes:
+
+1. whether the speculative states produced at different *rollback points*
+   are collapsed into a single state as soon as the rollback happens
+   (``collapse_rollback_points``), and
+2. where the speculative state is converted back into (merged with) the
+   normal state: at the entry of the correct branch, or only at the
+   control-flow merge point after the branch (``convert_at_merge_point``).
+
+============================  ==========================  =======================
+strategy                      rollback states collapsed?  converted into S at
+============================  ==========================  =======================
+``NO_MERGE``          (6a)    no                          merge point
+``MERGE_AFTER_BRANCH`` (6b)   no                          merge point
+``JUST_IN_TIME``       (6c)   yes                         merge point
+``MERGE_AT_ROLLBACK``  (6d)   yes                         entry of correct branch
+============================  ==========================  =======================
+
+Note on granularity: the paper's Figure 6a distinguishes rollback points
+per *instruction*; this implementation tracks them per *basic block*
+(each block of the speculative window gets its own post-rollback state),
+so ``NO_MERGE`` and ``MERGE_AFTER_BRANCH`` coincide here.  Both remain
+sound over-approximations of Figure 6a, and the strategy the paper
+recommends and evaluates (Just-in-Time merging, 6c) as well as the
+baseline it is compared against in Table 6 (merge at rollback, 6d) are
+modelled exactly.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class MergeStrategy(Enum):
+    """When to merge speculative states with each other and with the
+    normal state."""
+
+    NO_MERGE = "no_merge"
+    MERGE_AFTER_BRANCH = "merge_after_branch"
+    JUST_IN_TIME = "just_in_time"
+    MERGE_AT_ROLLBACK = "merge_at_rollback"
+
+    @property
+    def collapse_rollback_points(self) -> bool:
+        """True when all rollback points of a branch share one speculative
+        state slot (Figures 6c and 6d)."""
+        return self in (MergeStrategy.JUST_IN_TIME, MergeStrategy.MERGE_AT_ROLLBACK)
+
+    @property
+    def convert_at_merge_point(self) -> bool:
+        """True when the speculative state is propagated through the correct
+        branch and merged with the normal state only at the post-branch
+        merge point (Figures 6a-6c); False for Figure 6d."""
+        return self is not MergeStrategy.MERGE_AT_ROLLBACK
+
+    @property
+    def figure_label(self) -> str:
+        return {
+            MergeStrategy.NO_MERGE: "Figure 6a",
+            MergeStrategy.MERGE_AFTER_BRANCH: "Figure 6b",
+            MergeStrategy.JUST_IN_TIME: "Figure 6c",
+            MergeStrategy.MERGE_AT_ROLLBACK: "Figure 6d",
+        }[self]

@@ -1,0 +1,103 @@
+"""Branch predictors for the concrete speculative simulator.
+
+The abstract analysis does not depend on the prediction strategy (it
+conservatively considers both mispredictions at every branch); the
+concrete simulator, however, needs a predictor to decide *when* a
+misprediction — and therefore a speculative excursion — actually happens.
+Several classic predictors are provided so experiments can vary the
+amount of concrete speculation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+
+class BranchPredictor(ABC):
+    """Interface: predict the outcome of a branch, then learn the truth."""
+
+    @abstractmethod
+    def predict(self, branch_id: str) -> bool:
+        """Return the predicted outcome (True = taken)."""
+
+    def update(self, branch_id: str, taken: bool) -> None:
+        """Learn the actual outcome.  Stateless predictors ignore this."""
+
+    def reset(self) -> None:
+        """Forget any learned state."""
+
+
+@dataclass
+class AlwaysTakenPredictor(BranchPredictor):
+    """Static predict-taken."""
+
+    def predict(self, branch_id: str) -> bool:
+        return True
+
+
+@dataclass
+class AlwaysNotTakenPredictor(BranchPredictor):
+    """Static predict-not-taken."""
+
+    def predict(self, branch_id: str) -> bool:
+        return False
+
+
+@dataclass
+class PerfectPredictor(BranchPredictor):
+    """An oracle that never mispredicts.
+
+    The simulator special-cases it: with a perfect predictor no
+    speculative excursion ever happens, which makes it the concrete
+    counterpart of the non-speculative analysis.
+    """
+
+    def predict(self, branch_id: str) -> bool:  # pragma: no cover - never consulted
+        return True
+
+
+@dataclass
+class BimodalPredictor(BranchPredictor):
+    """Per-branch two-bit saturating counters (the classic bimodal table).
+
+    Counter values 0-1 predict not-taken, 2-3 predict taken; the counter
+    moves one step toward the actual outcome on every update.
+    """
+
+    initial: int = 2
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def predict(self, branch_id: str) -> bool:
+        return self.counters.get(branch_id, self.initial) >= 2
+
+    def update(self, branch_id: str, taken: bool) -> None:
+        counter = self.counters.get(branch_id, self.initial)
+        counter = min(counter + 1, 3) if taken else max(counter - 1, 0)
+        self.counters[branch_id] = counter
+
+    def reset(self) -> None:
+        self.counters.clear()
+
+
+@dataclass
+class OpposingPredictor(BranchPredictor):
+    """An adversarial predictor that always guesses wrong.
+
+    It needs to be told the actual outcome before predicting, which the
+    simulator does by calling :meth:`prime`.  Useful for exercising the
+    maximum amount of speculative pollution in tests.
+    """
+
+    _next_actual: bool | None = None
+
+    def prime(self, actual: bool) -> None:
+        self._next_actual = actual
+
+    def predict(self, branch_id: str) -> bool:
+        if self._next_actual is None:
+            return True
+        return not self._next_actual
+
+    def reset(self) -> None:
+        self._next_actual = None

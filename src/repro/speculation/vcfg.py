@@ -1,0 +1,214 @@
+"""Virtual control flow: the augmented CFG of Section 5.1.
+
+For every conditional branch that may be speculatively executed we build
+two *speculation scenarios* (the paper's "colors", Section 6.4): one in
+which the processor mispredicts the branch as taken and speculatively
+executes the true side before rolling back to the false side, and the
+symmetric one.
+
+A scenario captures, in one place, everything the lifted worklist
+algorithm (Algorithm 2/3) needs:
+
+* the *speculative window* — which blocks, and how many of their leading
+  instructions, can execute speculatively within the depth bound.  Two
+  windows are precomputed, one for the ``bm`` (condition may miss) bound
+  and one for the ``bh`` (condition is a must hit) bound, so the dynamic
+  depth-bounding optimisation of Section 6.2 is a constant-time switch;
+* the *rollback target* — the entry block of the correct branch, where the
+  speculative state re-enters the normal flow after the rollback
+  (``vn_stop`` for the merge-at-rollback strategy);
+* the *convergence block* — the post-branch merge point at which
+  Just-in-Time merging converts the speculative state back into the
+  normal state.
+
+In terms of the paper's virtual nodes: injecting the scenario's state at
+the branch block is ``vn_start``; the per-window-block rollback edges are
+the dashed edges of Figure 6; the conversion at the rollback target or
+convergence block is ``vn_stop``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.cfg import CFG
+from repro.ir.dominators import VIRTUAL_EXIT, compute_postdominators
+from repro.ir.instructions import CondBranch, MemoryRef
+from repro.speculation.config import SpeculationConfig
+
+
+@dataclass(frozen=True)
+class SpeculativeWindow:
+    """The region of the CFG that may execute speculatively for one scenario.
+
+    ``allowed`` maps a block name to the number of its leading
+    instructions that fit within the depth bound; blocks outside the
+    window are absent.
+    """
+
+    depth: int
+    allowed: dict[str, int] = field(default_factory=dict)
+
+    def contains(self, block: str) -> bool:
+        return block in self.allowed
+
+    def allowed_instructions(self, block: str) -> int:
+        return self.allowed.get(block, 0)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.allowed)
+
+    @property
+    def num_instructions(self) -> int:
+        return sum(self.allowed.values())
+
+
+@dataclass(frozen=True)
+class SpeculationScenario:
+    """One speculative execution of one branch (one "color")."""
+
+    color: int
+    branch_block: str
+    mispredicted_taken: bool
+    wrong_target: str
+    correct_target: str
+    cond_refs: tuple[MemoryRef, ...]
+    window_miss: SpeculativeWindow
+    window_hit: SpeculativeWindow
+    convergence_block: str | None
+
+    def window(self, condition_must_hit: bool) -> SpeculativeWindow:
+        """Pick the window according to the dynamic depth bound."""
+        return self.window_hit if condition_must_hit else self.window_miss
+
+    def describe(self) -> str:
+        direction = "taken" if self.mispredicted_taken else "not-taken"
+        return (
+            f"scenario #{self.color}: branch {self.branch_block} mispredicted {direction}; "
+            f"speculates into {self.wrong_target} "
+            f"({self.window_miss.num_blocks} blocks / {self.window_miss.num_instructions} instrs at bm, "
+            f"{self.window_hit.num_blocks} blocks / {self.window_hit.num_instructions} instrs at bh); "
+            f"resumes at {self.correct_target}, converges at {self.convergence_block}"
+        )
+
+
+@dataclass
+class VirtualCFG:
+    """The CFG together with all its speculation scenarios."""
+
+    cfg: CFG
+    config: SpeculationConfig
+    scenarios: list[SpeculationScenario] = field(default_factory=list)
+
+    @property
+    def num_speculative_branches(self) -> int:
+        """Number of conditional branches that can speculate at all
+        (the paper's "#Branch" column counts these)."""
+        return len({scenario.branch_block for scenario in self.scenarios})
+
+    @property
+    def num_virtual_edges(self) -> int:
+        """Total number of rollback (virtual) edges under the ``bm`` bound.
+
+        Counted at instruction granularity: a rollback may occur after any
+        speculated instruction, so every instruction inside a scenario's
+        window contributes one virtual edge.
+        """
+        return sum(scenario.window_miss.num_instructions for scenario in self.scenarios)
+
+    def scenarios_at(self, branch_block: str) -> list[SpeculationScenario]:
+        return [s for s in self.scenarios if s.branch_block == branch_block]
+
+    def scenario(self, color: int) -> SpeculationScenario:
+        for candidate in self.scenarios:
+            if candidate.color == color:
+                return candidate
+        raise KeyError(color)
+
+    def describe(self) -> str:
+        lines = [
+            f"virtual CFG for {self.cfg.name}: "
+            f"{self.num_speculative_branches} speculative branches, "
+            f"{len(self.scenarios)} scenarios, "
+            f"{self.num_virtual_edges} virtual edges (bm={self.config.depth_miss})"
+        ]
+        lines.extend(scenario.describe() for scenario in self.scenarios)
+        return "\n".join(lines)
+
+
+def build_vcfg(cfg: CFG, config: SpeculationConfig) -> VirtualCFG:
+    """Construct the virtual CFG (all speculation scenarios) for ``cfg``."""
+    vcfg = VirtualCFG(cfg=cfg, config=config)
+    pdom = compute_postdominators(cfg)
+    color = 0
+    for branch_block in cfg.conditional_blocks():
+        terminator = cfg.block(branch_block).terminator
+        assert isinstance(terminator, CondBranch)
+        if terminator.true_target == terminator.false_target:
+            continue
+        convergence = _immediate_postdominator(cfg, pdom, branch_block)
+        for mispredicted_taken in (True, False):
+            wrong = terminator.true_target if mispredicted_taken else terminator.false_target
+            correct = terminator.false_target if mispredicted_taken else terminator.true_target
+            scenario = SpeculationScenario(
+                color=color,
+                branch_block=branch_block,
+                mispredicted_taken=mispredicted_taken,
+                wrong_target=wrong,
+                correct_target=correct,
+                cond_refs=terminator.cond_refs,
+                window_miss=compute_window(cfg, wrong, config.depth_miss),
+                window_hit=compute_window(cfg, wrong, config.depth_hit),
+                convergence_block=convergence,
+            )
+            vcfg.scenarios.append(scenario)
+            color += 1
+    return vcfg
+
+
+def compute_window(cfg: CFG, start: str, depth: int) -> SpeculativeWindow:
+    """Blocks reachable from ``start`` within ``depth`` instructions.
+
+    The distance of a block is the minimum number of instructions executed
+    before reaching it from ``start``; its allowance is whatever remains of
+    the budget.  Using the minimum distance is the sound direction: a block
+    reachable within the budget along *any* path is included.
+    """
+    if depth <= 0:
+        return SpeculativeWindow(depth=depth)
+    distance: dict[str, int] = {start: 0}
+    worklist = [start]
+    while worklist:
+        # Process the block with the smallest known distance first so each
+        # block's final distance is settled when it is expanded.
+        worklist.sort(key=lambda name: distance[name])
+        block_name = worklist.pop(0)
+        block_distance = distance[block_name]
+        block_length = cfg.block(block_name).instruction_count
+        exit_distance = block_distance + block_length
+        if exit_distance >= depth:
+            continue
+        for successor in cfg.successors(block_name):
+            if exit_distance < distance.get(successor, depth):
+                distance[successor] = exit_distance
+                if successor not in worklist:
+                    worklist.append(successor)
+    allowed = {
+        name: min(cfg.block(name).instruction_count, depth - dist)
+        for name, dist in distance.items()
+        if depth - dist > 0
+    }
+    return SpeculativeWindow(depth=depth, allowed=allowed)
+
+
+def _immediate_postdominator(
+    cfg: CFG, pdom: dict[str, set[str]], block: str
+) -> str | None:
+    candidates = pdom.get(block, set()) - {block, VIRTUAL_EXIT}
+    if not candidates:
+        return None
+    for candidate in candidates:
+        if all(candidate in pdom[other] for other in candidates if other != candidate):
+            return candidate
+    return sorted(candidates)[0]

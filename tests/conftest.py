@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite.
+
+Tests run against *scaled-down* cache geometries (4-64 lines) so the whole
+suite stays fast; the benchmarks under ``benchmarks/`` exercise the
+paper-sized configurations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import compile_source
+from repro.bench.programs import (
+    figure7_source,
+    figure11_source,
+    motivating_example_source,
+    quantl_client_source,
+)
+from repro.cache.config import CacheConfig
+from repro.speculation.config import SpeculationConfig
+
+
+@pytest.fixture(scope="session")
+def small_cache() -> CacheConfig:
+    """A 4-line cache, as used by the paper's Figure 7 / Figure 11 examples."""
+    return CacheConfig(num_lines=4, line_size=64)
+
+
+@pytest.fixture(scope="session")
+def bench_cache() -> CacheConfig:
+    """The scaled evaluation cache used by tests (64 lines of 64 bytes)."""
+    return CacheConfig(num_lines=64, line_size=64)
+
+
+@pytest.fixture(scope="session")
+def paper_speculation() -> SpeculationConfig:
+    return SpeculationConfig.paper_default()
+
+
+@pytest.fixture(scope="session")
+def motivating_program_small():
+    """The Figure 2 program scaled to a 64-line cache (same structure)."""
+    return compile_source(motivating_example_source(num_lines=64))
+
+
+@pytest.fixture(scope="session")
+def quantl_program():
+    return compile_source(quantl_client_source())
+
+
+@pytest.fixture(scope="session")
+def figure7_program():
+    return compile_source(figure7_source())
+
+
+@pytest.fixture(scope="session")
+def figure11_program():
+    return compile_source(figure11_source())

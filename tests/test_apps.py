@@ -1,0 +1,89 @@
+"""Tests for the WCET and side-channel applications and their reports."""
+
+from repro import compile_source
+from repro.apps.report import format_comparison_table, format_leak_table, format_merge_table
+from repro.apps.sidechannel import compare_leaks, detect_leaks
+from repro.apps.wcet import compare_wcet, estimate_wcet
+from repro.bench.client import build_client_source
+from repro.bench.crypto import crypto_kernel
+from repro.bench.programs import motivating_example_source
+from repro.cache.config import CacheConfig
+
+CACHE = CacheConfig(num_lines=64, line_size=64)
+
+
+class TestWcetApplication:
+    def test_estimate_contains_counts_and_cycles(self, motivating_program_small):
+        estimate = estimate_wcet(motivating_program_small, CACHE, speculative=False)
+        assert estimate.access_sites == estimate.must_hits + estimate.misses
+        expected = (
+            estimate.must_hits * CACHE.hit_latency + estimate.misses * CACHE.miss_penalty
+        )
+        assert estimate.estimated_cycles == expected
+
+    def test_comparison_shows_underestimation(self, motivating_program_small):
+        comparison = compare_wcet(motivating_program_small, CACHE)
+        assert comparison.additional_misses >= 1
+        assert comparison.underestimated
+        assert comparison.speculative.misses >= comparison.non_speculative.misses
+
+    def test_comparison_on_branchless_program(self):
+        program = compile_source("char a[64]; int main() { a[0]; a[0]; return 0; }")
+        comparison = compare_wcet(program, CacheConfig.small(num_lines=4))
+        assert comparison.additional_misses == 0
+        assert not comparison.underestimated
+
+    def test_slowdown_is_positive(self, motivating_program_small):
+        comparison = compare_wcet(motivating_program_small, CACHE)
+        assert comparison.slowdown > 0
+
+
+class TestSideChannelApplication:
+    def test_motivating_example_leak_only_under_speculation(self, motivating_program_small):
+        comparison = compare_leaks(motivating_program_small, CACHE, buffer_bytes=0)
+        assert comparison.leak_only_under_speculation
+        assert not comparison.non_speculative.leak_detected
+        assert comparison.speculative.leak_detected
+        assert comparison.speculative.leak_sites
+        assert comparison.speculative.leak_sites[0].symbol == "ph"
+
+    def test_no_secret_accesses_means_no_leak(self):
+        program = compile_source("char a[64]; int p; int main() { if (p) { a[0]; } return 0; }")
+        report = detect_leaks(program, CacheConfig.small(num_lines=4))
+        assert report.secret_sites == 0
+        assert not report.leak_detected
+
+    def test_client_harness_for_leaky_kernel(self):
+        kernel = crypto_kernel("hash", 64, 64)
+        source = build_client_source(kernel, buffer_bytes=2752)
+        program = compile_source(source)
+        comparison = compare_leaks(program, CACHE, buffer_bytes=2752, name="hash")
+        assert comparison.leak_only_under_speculation
+
+    def test_client_harness_for_branchless_kernel(self):
+        kernel = crypto_kernel("salsa", 64, 64)
+        source = build_client_source(kernel, buffer_bytes=2752)
+        program = compile_source(source)
+        comparison = compare_leaks(program, CACHE, buffer_bytes=2752, name="salsa")
+        assert not comparison.leak_only_under_speculation
+        assert not comparison.speculative.leak_detected
+
+
+class TestReports:
+    def test_wcet_table_formatting(self, motivating_program_small):
+        comparison = compare_wcet(motivating_program_small, CACHE, name="fig2")
+        text = format_comparison_table([comparison])
+        assert "fig2" in text
+        assert "NS-#Miss" in text
+        assert "#SpMiss" in text
+
+    def test_merge_table_formatting(self, motivating_program_small):
+        comparison = compare_wcet(motivating_program_small, CACHE, name="fig2")
+        text = format_merge_table([("fig2", comparison, comparison)])
+        assert "JIT-#Miss" in text
+
+    def test_leak_table_formatting(self, motivating_program_small):
+        comparison = compare_leaks(motivating_program_small, CACHE, buffer_bytes=0, name="fig2")
+        text = format_leak_table([comparison])
+        assert "fig2" in text
+        assert "Yes" in text and "No" in text

@@ -1,0 +1,167 @@
+"""Unit tests for the cache configuration and the concrete LRU simulator."""
+
+import pytest
+
+from repro.cache.concrete import ConcreteCache
+from repro.cache.config import CacheConfig
+from repro.errors import ConfigError
+from repro.ir.memory import MemoryBlock
+
+
+def block(name: str, index: int = 0) -> MemoryBlock:
+    return MemoryBlock(name, index)
+
+
+class TestCacheConfig:
+    def test_paper_default_geometry(self):
+        config = CacheConfig.paper_default()
+        assert config.num_lines == 512
+        assert config.line_size == 64
+        assert config.size_bytes == 32 * 1024
+        assert config.associativity is None
+        assert config.ways == 512
+        assert config.num_sets == 1
+
+    def test_set_associative_geometry(self):
+        config = CacheConfig(num_lines=512, line_size=64, associativity=8)
+        assert config.num_sets == 64
+        assert config.ways == 8
+
+    def test_small_helper(self):
+        assert CacheConfig.small().num_lines == 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_lines": 0},
+            {"line_size": 0},
+            {"associativity": 0},
+            {"num_lines": 10, "associativity": 3},
+            {"hit_latency": -1},
+        ],
+    )
+    def test_invalid_configurations_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            CacheConfig(**kwargs)
+
+
+class TestFullyAssociativeLRU:
+    def test_cold_miss_then_hit(self):
+        cache = ConcreteCache(CacheConfig.small(num_lines=4))
+        assert cache.access(block("a")) is False
+        assert cache.access(block("a")) is True
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_lru_eviction_order(self):
+        cache = ConcreteCache(CacheConfig.small(num_lines=2))
+        cache.access(block("a"))
+        cache.access(block("b"))
+        cache.access(block("c"))  # evicts a
+        assert cache.probe(block("a")) is False
+        assert cache.probe(block("b")) is True
+        assert cache.probe(block("c")) is True
+
+    def test_access_refreshes_lru_position(self):
+        cache = ConcreteCache(CacheConfig.small(num_lines=2))
+        cache.access(block("a"))
+        cache.access(block("b"))
+        cache.access(block("a"))  # refresh a
+        cache.access(block("c"))  # evicts b, not a
+        assert cache.probe(block("a")) is True
+        assert cache.probe(block("b")) is False
+
+    def test_age_of_matches_lru_order(self):
+        cache = ConcreteCache(CacheConfig.small(num_lines=4))
+        cache.access(block("a"))
+        cache.access(block("b"))
+        cache.access(block("c"))
+        assert cache.age_of(block("c")) == 1
+        assert cache.age_of(block("a")) == 3
+        assert cache.age_of(block("zzz")) is None
+
+    def test_probe_does_not_change_order(self):
+        cache = ConcreteCache(CacheConfig.small(num_lines=2))
+        cache.access(block("a"))
+        cache.access(block("b"))
+        cache.probe(block("a"))
+        cache.access(block("c"))
+        assert cache.probe(block("a")) is False
+
+    def test_occupancy_and_contents(self):
+        cache = ConcreteCache(CacheConfig.small(num_lines=4))
+        for name in "abc":
+            cache.access(block(name))
+        assert cache.occupancy == 3
+        assert set(b.symbol for b in cache.contents()) == {"a", "b", "c"}
+
+    def test_different_blocks_of_same_symbol_are_distinct(self):
+        cache = ConcreteCache(CacheConfig.small(num_lines=4))
+        cache.access(block("a", 0))
+        assert cache.access(block("a", 1)) is False
+
+    def test_speculative_accesses_counted_separately(self):
+        cache = ConcreteCache(CacheConfig.small(num_lines=4))
+        cache.access(block("a"), speculative=True)
+        cache.access(block("b"))
+        assert cache.stats.speculative_misses == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.observable_misses == 1
+
+    def test_speculative_access_still_changes_cache(self):
+        """The property that makes speculation visible: cache effects of
+        speculated accesses are not rolled back."""
+        cache = ConcreteCache(CacheConfig.small(num_lines=1))
+        cache.access(block("a"))
+        cache.access(block("b"), speculative=True)
+        assert cache.probe(block("a")) is False
+
+    def test_clear_and_reset_stats(self):
+        cache = ConcreteCache(CacheConfig.small(num_lines=4))
+        cache.access(block("a"))
+        cache.clear()
+        assert cache.occupancy == 0
+        assert cache.stats.accesses == 0
+
+    def test_clone_is_independent(self):
+        cache = ConcreteCache(CacheConfig.small(num_lines=4))
+        cache.access(block("a"))
+        copy = cache.clone()
+        copy.access(block("b"))
+        assert cache.probe(block("b")) is False
+        assert copy.probe(block("b")) is True
+        assert cache.stats.accesses == 1
+
+    def test_stats_merge(self):
+        cache = ConcreteCache(CacheConfig.small(num_lines=4))
+        cache.access(block("a"))
+        other = ConcreteCache(CacheConfig.small(num_lines=4))
+        other.access(block("a"))
+        other.access(block("a"))
+        merged = cache.stats.merge(other.stats)
+        assert merged.accesses == 3
+        assert merged.hits == 1
+
+
+class TestSetAssociative:
+    def test_blocks_map_to_sets(self):
+        config = CacheConfig(num_lines=8, line_size=64, associativity=2)
+        cache = ConcreteCache(config)
+        for index in range(16):
+            cache.access(block("a", index))
+        # Every set holds at most `ways` blocks.
+        assert cache.occupancy <= config.num_lines
+
+    def test_direct_mapped_conflict(self):
+        config = CacheConfig(num_lines=4, line_size=64, associativity=1)
+        cache = ConcreteCache(config)
+        first = block("x", 0)
+        cache.access(first)
+        # Find a block that maps to the same (single-way) set and evicts it.
+        for index in range(1, 200):
+            other = block("x", index)
+            if cache._set_index(other) == cache._set_index(first):
+                cache.access(other)
+                assert cache.probe(first) is False
+                return
+        pytest.skip("no conflicting block found in probe range")

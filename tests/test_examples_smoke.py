@@ -1,0 +1,60 @@
+"""Smoke tests: the example scripts under ``examples/`` run to completion.
+
+The heavy, paper-sized quickstart is exercised by the E1 benchmark; here the
+example modules are imported and their entry points driven with small
+arguments so a broken example fails the test suite rather than the reader.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_directory_contains_expected_scripts(self):
+        names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "wcet_estimation.py",
+            "side_channel_detection.py",
+            "merge_strategies.py",
+        } <= names
+
+    def test_wcet_example_runs_on_subset(self, capsys):
+        module = _load("wcet_estimation")
+        module.main(["vga", "jcphuff"])
+        output = capsys.readouterr().out
+        assert "vga" in output
+        assert "UNDERESTIMATED" in output or "tight" in output
+
+    def test_wcet_example_rejects_unknown_benchmark(self):
+        module = _load("wcet_estimation")
+        with pytest.raises(SystemExit):
+            module.main(["not-a-benchmark"])
+
+    def test_side_channel_example_runs_on_subset(self, capsys):
+        module = _load("side_channel_detection")
+        module.main(["encoder"])
+        output = capsys.readouterr().out
+        assert "encoder" in output
+        assert "buffer sweep" in output
+
+    def test_merge_strategy_example_runs(self, capsys):
+        module = _load("merge_strategies")
+        module.figure7_states()
+        output = capsys.readouterr().out
+        assert "JUST_IN_TIME" in output
+        assert "Figure 6c" in output

@@ -1,0 +1,62 @@
+"""Tests for the high-level compile_source driver."""
+
+import pytest
+
+from repro import CompiledProgram, compile_source
+from repro.errors import ReproError
+
+
+class TestCompileSource:
+    def test_returns_compiled_program(self):
+        program = compile_source("int main() { return 0; }")
+        assert isinstance(program, CompiledProgram)
+        assert program.entry_function == "main"
+
+    def test_entry_defaults_to_main(self):
+        program = compile_source("int f() { return 1; } int main() { return f(); }")
+        assert program.cfg.name == "main"
+
+    def test_single_function_is_entry(self):
+        program = compile_source("int quantl(int el, int detl) { return el; }")
+        assert program.cfg.name == "quantl"
+
+    def test_explicit_entry(self):
+        program = compile_source(
+            "int f() { return 1; } int g() { return 2; }", entry="g"
+        )
+        assert program.cfg.name == "g"
+
+    def test_unknown_entry_rejected(self):
+        with pytest.raises(ReproError):
+            compile_source("int main() { return 0; }", entry="nope")
+
+    def test_ambiguous_entry_rejected(self):
+        with pytest.raises(ReproError):
+            compile_source("int f() { return 1; } int g() { return 2; }")
+
+    def test_no_functions_rejected(self):
+        with pytest.raises(ReproError):
+            compile_source("int x;")
+
+    def test_unroll_toggle(self):
+        source = "char a[256]; int main() { reg int i; for (i = 0; i < 4; i++) { a[i*64]; } return 0; }"
+        unrolled = compile_source(source, unroll=True)
+        rolled = compile_source(source, unroll=False)
+        assert unrolled.unroll_stats.loops_unrolled == 1
+        assert rolled.unroll_stats.loops_unrolled == 0
+        assert len(rolled.cfg.blocks) > len(unrolled.cfg.blocks)
+
+    def test_inline_toggle(self):
+        source = "int f(int x) { return x; } int main() { return f(1); }"
+        inlined = compile_source(source, inline=True)
+        not_inlined = compile_source(source, inline=False)
+        assert len(inlined.cfg.blocks) >= len(not_inlined.cfg.blocks)
+
+    def test_line_size_propagates_to_layout(self):
+        program = compile_source("char a[128]; int main() { a[0]; return 0; }", line_size=32)
+        assert program.layout.line_size == 32
+        assert program.layout.object("a").num_blocks == 4
+
+    def test_cfgs_contains_all_functions(self):
+        program = compile_source("int f() { return 1; } int main() { return f(); }")
+        assert set(program.cfgs) == {"f", "main"}

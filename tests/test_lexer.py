@@ -1,0 +1,183 @@
+"""Unit tests for the MiniC lexer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenType
+
+
+def types(source):
+    return [token.type for token in tokenize(source)]
+
+
+def values(source):
+    return [token.value for token in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_identifier(self):
+        tokens = tokenize("foo_bar42")
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "foo_bar42"
+
+    def test_decimal_literal(self):
+        tokens = tokenize("12345")
+        assert tokens[0].type is TokenType.INT_LITERAL
+        assert tokens[0].value == "12345"
+
+    def test_hex_literal(self):
+        tokens = tokenize("0x7c")
+        assert tokens[0].type is TokenType.INT_LITERAL
+        assert tokens[0].value == "0x7c"
+
+    def test_literal_with_long_suffix(self):
+        tokens = tokenize("15L")
+        assert tokens[0].type is TokenType.INT_LITERAL
+        assert tokens[0].value == "15"
+
+    def test_char_literal_becomes_integer(self):
+        tokens = tokenize("'A'")
+        assert tokens[0].type is TokenType.INT_LITERAL
+        assert tokens[0].value == str(ord("A"))
+
+    def test_escaped_char_literal(self):
+        tokens = tokenize(r"'\n'")
+        assert tokens[0].value == str(ord("\n"))
+
+
+class TestKeywords:
+    @pytest.mark.parametrize(
+        "keyword, token_type",
+        [
+            ("int", TokenType.KW_INT),
+            ("char", TokenType.KW_CHAR),
+            ("long", TokenType.KW_LONG),
+            ("if", TokenType.KW_IF),
+            ("else", TokenType.KW_ELSE),
+            ("while", TokenType.KW_WHILE),
+            ("for", TokenType.KW_FOR),
+            ("return", TokenType.KW_RETURN),
+            ("break", TokenType.KW_BREAK),
+            ("continue", TokenType.KW_CONTINUE),
+            ("reg", TokenType.KW_REG),
+            ("register", TokenType.KW_REG),
+            ("secret", TokenType.KW_SECRET),
+            ("const", TokenType.KW_CONST),
+            ("unsigned", TokenType.KW_UNSIGNED),
+        ],
+    )
+    def test_keyword(self, keyword, token_type):
+        assert types(keyword)[0] is token_type
+
+    def test_c_typedef_aliases(self):
+        assert types("uint8_t")[0] is TokenType.KW_CHAR
+        assert types("uint32_t")[0] is TokenType.KW_INT
+        assert types("uint64_t")[0] is TokenType.KW_LONG
+
+    def test_keyword_prefix_is_identifier(self):
+        tokens = tokenize("iffy")
+        assert tokens[0].type is TokenType.IDENT
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text, token_type",
+        [
+            ("<<", TokenType.SHL),
+            (">>", TokenType.SHR),
+            ("<=", TokenType.LE),
+            (">=", TokenType.GE),
+            ("==", TokenType.EQ),
+            ("!=", TokenType.NE),
+            ("&&", TokenType.AND_AND),
+            ("||", TokenType.OR_OR),
+            ("+=", TokenType.PLUS_ASSIGN),
+            ("-=", TokenType.MINUS_ASSIGN),
+            ("++", TokenType.PLUS_PLUS),
+            ("--", TokenType.MINUS_MINUS),
+        ],
+    )
+    def test_multi_char_operator(self, text, token_type):
+        assert types(text)[0] is token_type
+
+    def test_single_char_operators(self):
+        assert types("+ - * / % ( ) { } [ ] ; , < > = ! & | ^ ~")[:-1] == [
+            TokenType.PLUS,
+            TokenType.MINUS,
+            TokenType.STAR,
+            TokenType.SLASH,
+            TokenType.PERCENT,
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.LBRACE,
+            TokenType.RBRACE,
+            TokenType.LBRACKET,
+            TokenType.RBRACKET,
+            TokenType.SEMICOLON,
+            TokenType.COMMA,
+            TokenType.LT,
+            TokenType.GT,
+            TokenType.ASSIGN,
+            TokenType.NOT,
+            TokenType.AMP,
+            TokenType.PIPE,
+            TokenType.CARET,
+            TokenType.TILDE,
+        ]
+
+    def test_greedy_matching_of_shift_vs_compare(self):
+        assert types("a >> b")[1] is TokenType.SHR
+        assert types("a > > b")[1] is TokenType.GT
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_skipped(self):
+        assert values("x // comment\n y") == ["x", "y"]
+
+    def test_block_comment_skipped(self):
+        assert values("x /* a\nb\nc */ y") == ["x", "y"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("/* never closed")
+
+    def test_newlines_update_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        assert [t.line for t in tokens[:3]] == [1, 2, 3]
+        assert tokens[2].column == 3
+
+
+class TestErrors:
+    def test_unknown_character_raises_with_location(self):
+        with pytest.raises(LexerError) as excinfo:
+            tokenize("a\n  $")
+        assert excinfo.value.line == 2
+
+    def test_unterminated_char_literal(self):
+        with pytest.raises(LexerError):
+            tokenize("'a")
+
+    def test_unknown_escape(self):
+        with pytest.raises(LexerError):
+            tokenize(r"'\q'")
+
+
+class TestRealisticSnippets:
+    def test_figure2_snippet(self):
+        source = "if(p==0) load(l1[0]); else load(l2[0]);"
+        kinds = types(source)
+        assert TokenType.KW_IF in kinds
+        assert TokenType.KW_ELSE in kinds
+        assert kinds.count(TokenType.LBRACKET) == 2
+
+    def test_quantl_loop_header(self):
+        source = "for(mil = 0 ; mil < 30 ; mil++) {"
+        kinds = types(source)
+        assert TokenType.KW_FOR in kinds
+        assert TokenType.PLUS_PLUS in kinds

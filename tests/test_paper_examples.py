@@ -1,0 +1,180 @@
+"""Integration tests that replay the paper's own examples end to end.
+
+Each test corresponds to a figure or table of the paper (see DESIGN.md's
+experiment index):
+
+* Figure 2/3 — the motivating example (scaled to a 64-line cache so the
+  test stays fast; the full 512-line version is exercised by the E1
+  benchmark).
+* Figure 7    — Just-in-Time merging.
+* Figure 8/9, Tables 1/2 — the quantl kernel.
+* Figure 11/13 — the shadow-variable refinement.
+"""
+
+from repro import compile_source
+from repro.analysis import analyze_baseline, analyze_speculative
+from repro.bench.programs import motivating_example_source
+from repro.cache.config import CacheConfig
+from repro.ir.memory import MemoryBlock
+from repro.speculation.merge import MergeStrategy
+from repro.speculation.predictor import OpposingPredictor, PerfectPredictor
+from repro.speculation.simulator import SpeculativeSimulator
+
+
+class TestMotivatingExample:
+    """Figure 2/3 at 64-line scale: ph has 62 lines, l1/l2/p one each."""
+
+    CACHE = CacheConfig(num_lines=64, line_size=64)
+
+    def test_baseline_proves_secret_access_hits(self, motivating_program_small):
+        result = analyze_baseline(motivating_program_small, self.CACHE)
+        secret = [c for c in result.normal_classifications() if c.secret_indexed]
+        assert len(secret) == 1
+        assert secret[0].must_hit
+        assert not result.leak_detected
+
+    def test_speculative_analysis_detects_the_leak(self, motivating_program_small):
+        result = analyze_speculative(motivating_program_small, self.CACHE)
+        secret = [c for c in result.normal_classifications() if c.secret_indexed]
+        assert not secret[0].must_hit
+        assert secret[0].secret_dependent
+        assert result.leak_detected
+
+    def test_concrete_counts_match_figure3_shape(self, motivating_program_small):
+        perfect = SpeculativeSimulator(
+            motivating_program_small, cache_config=self.CACHE, predictor=PerfectPredictor()
+        ).run()
+        mispredicted = SpeculativeSimulator(
+            motivating_program_small,
+            cache_config=self.CACHE,
+            predictor=OpposingPredictor(),
+            excursion_length=2,
+        ).run()
+        # Correct prediction: every ph line plus p and one branch line miss,
+        # the final ph[k] hits.
+        assert perfect.stats.hits == 1
+        assert perfect.stats.misses == 64
+        # Misprediction: two extra misses, one of them masked (speculative).
+        assert mispredicted.stats.misses == perfect.stats.misses + 2
+        assert mispredicted.stats.observable_misses == perfect.stats.misses + 1
+        assert mispredicted.stats.hits == 0
+
+    def test_full_size_source_shape(self):
+        source = motivating_example_source(num_lines=512)
+        assert "char ph[32640]" in source
+        assert "secret reg char k" in source
+
+
+class TestFigure7JustInTime:
+    CACHE = CacheConfig.small(num_lines=4)
+
+    def test_nonspeculative_keeps_a_cached(self, figure7_program):
+        result = analyze_baseline(figure7_program, self.CACHE)
+        final_a = [c for c in result.normal_classifications() if c.ref.symbol == "a"][-1]
+        assert final_a.must_hit
+
+    def test_speculative_jit_reports_eviction_of_a(self, figure7_program):
+        result = analyze_speculative(
+            figure7_program, self.CACHE, merge_strategy=MergeStrategy.JUST_IN_TIME
+        )
+        final_a = [c for c in result.normal_classifications() if c.ref.symbol == "a"][-1]
+        assert not final_a.must_hit
+
+    def test_b_and_c_survive_at_merge_under_jit(self, figure7_program):
+        """Figure 7's bottom-right state: only b and c are guaranteed cached
+        at basic block 4 under the optimal (JIT) strategy.
+
+        The figure's illustration assumes the speculative window covers only
+        the mispredicted branch body (not the code after the merge point),
+        so the test uses a correspondingly small depth bound.
+        """
+        from repro.speculation.config import SpeculationConfig
+
+        result = analyze_speculative(
+            figure7_program,
+            self.CACHE,
+            speculation=SpeculationConfig(
+                depth_miss=2, depth_hit=2, merge_strategy=MergeStrategy.JUST_IN_TIME
+            ),
+        )
+        merge_block = [
+            name
+            for name in figure7_program.cfg.reachable_blocks()
+            if any(r.symbol == "a" for r in figure7_program.cfg.block(name).memory_refs())
+        ][-1]
+        state = result.entry_states[merge_block]
+        assert state.must_hit(MemoryBlock("b", 0))
+        assert state.must_hit(MemoryBlock("c", 0))
+        assert not state.must_hit(MemoryBlock("a", 0))
+
+    def test_deeper_speculation_is_even_more_conservative(self, figure7_program):
+        """With the full 200-instruction window the speculative excursion may
+        also run past the merge point before rolling back, which can evict
+        ``b`` as well — strictly more conservative than the short window."""
+        result = analyze_speculative(
+            figure7_program, self.CACHE, merge_strategy=MergeStrategy.JUST_IN_TIME
+        )
+        merge_block = [
+            name
+            for name in figure7_program.cfg.reachable_blocks()
+            if any(r.symbol == "a" for r in figure7_program.cfg.block(name).memory_refs())
+        ][-1]
+        state = result.entry_states[merge_block]
+        assert not state.must_hit(MemoryBlock("a", 0))
+        assert state.must_hit(MemoryBlock("c", 0))
+
+
+class TestQuantl:
+    """The Figure 8/9 kernel: speculation touches both quantisation tables."""
+
+    CACHE = CacheConfig(num_lines=16, line_size=64)
+
+    def test_speculative_analysis_is_more_pessimistic(self, quantl_program):
+        base = analyze_baseline(quantl_program, self.CACHE)
+        spec = analyze_speculative(quantl_program, self.CACHE)
+        assert spec.miss_count >= base.miss_count
+        assert spec.num_speculative_branches >= 2
+
+    def test_speculative_window_covers_both_tables(self, quantl_program):
+        spec = analyze_speculative(quantl_program, self.CACHE)
+        speculated_symbols = {c.ref.symbol for c in spec.speculative_classifications()}
+        assert "quant26bt_pos" in speculated_symbols
+        assert "quant26bt_neg" in speculated_symbols
+
+    def test_placeholder_lines_used_for_decis_levl(self, quantl_program):
+        """Table 1's decis_lev[1*] / [2*] convention: inside the search loop
+        the unknown-index accesses are tracked as symbolic placeholder lines
+        of ``decis_levl`` (the loop-header join with the not-yet-executed
+        entry path removes them again, as a must analysis has to)."""
+        base = analyze_baseline(quantl_program, self.CACHE)
+        placeholder_symbols = set()
+        for block, state in base.entry_states.items():
+            if getattr(state, "is_bottom", False):
+                continue
+            placeholder_symbols |= {
+                b.symbol for b in state.cached_blocks() if b.is_placeholder
+            }
+        assert "decis_levl" in placeholder_symbols
+
+    def test_fixed_point_reached_quickly(self, quantl_program):
+        base = analyze_baseline(quantl_program, self.CACHE)
+        assert base.iterations < 200
+
+
+class TestFigure11Shadow:
+    CACHE = CacheConfig.small(num_lines=4)
+
+    def test_shadow_state_keeps_a_must_hit(self, figure11_program):
+        result = analyze_baseline(figure11_program, self.CACHE, use_shadow_state=True)
+        final_a = [c for c in result.normal_classifications() if c.ref.symbol == "a"][-1]
+        assert final_a.must_hit
+
+    def test_plain_state_loses_a(self, figure11_program):
+        result = analyze_baseline(figure11_program, self.CACHE, use_shadow_state=False)
+        final_a = [c for c in result.normal_classifications() if c.ref.symbol == "a"][-1]
+        assert not final_a.must_hit
+
+    def test_refinement_extends_to_speculative_analysis(self, figure11_program):
+        refined = analyze_speculative(figure11_program, self.CACHE, use_shadow_state=True)
+        plain = analyze_speculative(figure11_program, self.CACHE, use_shadow_state=False)
+        assert refined.hit_count >= plain.hit_count
