@@ -8,13 +8,16 @@ smaller number of iterations, at comparable cost.
 
 from repro.apps.report import format_merge_table
 from repro.bench.tables import generate_table6
+from repro.engine import AnalysisEngine
 
 
 def test_table6_merge_strategies(benchmark, once):
-    rows = once(benchmark, generate_table6)
+    engine = AnalysisEngine()
+    rows = once(benchmark, generate_table6, engine=engine)
 
     print()
     print(format_merge_table(rows, title="Table 6 — merging strategies"))
+    print(engine.stats)
 
     assert len(rows) == 10
     jit_no_worse = 0

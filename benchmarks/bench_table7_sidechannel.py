@@ -9,16 +9,19 @@ even with a zero-byte buffer).
 
 from repro.apps.report import format_leak_table
 from repro.bench.tables import generate_table7
+from repro.engine import AnalysisEngine
 
 
 EXPECTED_LEAKY = {"hash", "encoder", "chacha20", "ocb", "des"}
 
 
 def test_table7_side_channel_detection(benchmark, once):
-    rows = once(benchmark, generate_table7)
+    engine = AnalysisEngine()
+    rows = once(benchmark, generate_table7, engine=engine)
 
     print()
     print(format_leak_table(rows, title="Table 7 — side channel detection"))
+    print(engine.stats)
 
     assert len(rows) == 10
     leaky = {row.name for row in rows if row.speculative.leak_detected}

@@ -14,10 +14,30 @@ Typical usage::
     program = compile_source(SOURCE)
     non_spec = analyze_baseline(program)
     spec = analyze_speculative(program)
+
+For request/response traffic — many programs, repeated configurations —
+submit through the engine service layer instead::
+
+    from repro import AnalysisEngine, AnalysisRequest
+
+    engine = AnalysisEngine()
+    results = engine.run_batch(
+        [AnalysisRequest.speculative(source) for source in sources],
+        max_workers=4,
+    )
 """
 
 from repro.frontend import CompiledProgram, compile_source
+from repro.engine import AnalysisEngine, AnalysisKind, AnalysisRequest, default_engine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["CompiledProgram", "compile_source", "__version__"]
+__all__ = [
+    "AnalysisEngine",
+    "AnalysisKind",
+    "AnalysisRequest",
+    "CompiledProgram",
+    "compile_source",
+    "default_engine",
+    "__version__",
+]

@@ -4,22 +4,28 @@ The solver is parameterised by the domain element at the entry, a bottom
 element, and a transfer function over basic blocks.  Widening is applied
 at loop headers (or at user-supplied widening points) after a
 configurable number of visits.
+
+Scheduling is delegated to the shared priority-worklist kernel
+(:mod:`repro.engine.worklist`): blocks pop in reverse-postorder priority
+from a heap, replacing the former O(n) ``min`` + ``remove`` scan over a
+deque (O(n²) over a run with a wide frontier).
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Generic, TypeVar
 
-from repro.errors import AnalysisError
+from repro.engine.worklist import (
+    DEFAULT_WIDENING_DELAY,
+    PriorityWorklist,
+    WideningPolicy,
+    run_fixpoint,
+)
 from repro.ir.cfg import CFG
 from repro.ir.loops import find_natural_loops
 
 T = TypeVar("T")
-
-#: Number of visits to a widening point before widening kicks in.
-DEFAULT_WIDENING_DELAY = 3
 
 #: Hard bound on node visits; hitting it indicates a non-monotone transfer
 #: function or a broken partial order, so the solver raises rather than
@@ -78,43 +84,25 @@ def solve_forward(
     visit_counts: dict[str, int] = {name: 0 for name in reachable}
 
     result = FixpointResult[T](entry_states=entry_states, exit_states=exit_states)
+    policy = WideningPolicy(points=widening_points, delay=widening_delay)
 
-    worklist: deque[str] = deque([cfg.entry])
-    queued = {cfg.entry}
-    total_visits = 0
-    while worklist:
-        # Pop the block earliest in reverse postorder for fast convergence.
-        name = min(worklist, key=lambda block: order.get(block, 1 << 30))
-        worklist.remove(name)
-        queued.discard(name)
-
-        total_visits += 1
-        if total_visits > max_visits:
-            raise AnalysisError(
-                f"fixpoint did not converge within {max_visits} block visits"
-            )
+    def step(name: str) -> list[str]:
         visit_counts[name] += 1
         result.iterations += 1
-
         state_out = transfer(name, entry_states[name])
         exit_states[name] = state_out
-
+        changed: list[str] = []
         for successor in cfg.successors(name):
             current = entry_states[successor]
-            joined = current.join(state_out)
-            if successor in widening_points and visit_counts[name] >= 0:
-                if _visits(visit_counts, successor) >= widening_delay:
-                    widened = joined.widen(current)
-                    if widened is not joined:
-                        result.widenings += 1
-                    joined = widened
+            joined = policy.apply(
+                successor, visit_counts.get(successor, 0), current, current.join(state_out)
+            )
             if not joined.leq(current):
                 entry_states[successor] = joined
-                if successor not in queued:
-                    worklist.append(successor)
-                    queued.add(successor)
+                changed.append(successor)
+        return changed
+
+    worklist = PriorityWorklist(order, initial=[cfg.entry])
+    run_fixpoint(worklist, step, max_visits=max_visits)
+    result.widenings = policy.widenings
     return result
-
-
-def _visits(visit_counts: dict[str, int], block: str) -> int:
-    return visit_counts.get(block, 0)

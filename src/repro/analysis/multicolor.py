@@ -47,7 +47,7 @@ from repro.analysis.transfer import (
     transfer_block_with_prefix_join,
 )
 from repro.cache.config import CacheConfig
-from repro.errors import AnalysisError
+from repro.engine.worklist import PriorityWorklist, WideningPolicy, run_fixpoint
 from repro.frontend import CompiledProgram
 from repro.ir.loops import find_natural_loops
 from repro.speculation.config import SpeculationConfig
@@ -139,7 +139,10 @@ class SpeculativeCacheAnalysis:
         cfg = self.cfg
         reachable = cfg.reachable_blocks()
         order = {name: position for position, name in enumerate(cfg.reverse_postorder())}
-        widening_points = {loop.header for loop in find_natural_loops(cfg)}
+        policy = WideningPolicy(
+            points={loop.header for loop in find_natural_loops(cfg)},
+            delay=WIDENING_DELAY,
+        )
 
         normal: dict[str, object] = {name: self._bottom for name in reachable}
         normal[cfg.entry] = new_entry_state(self._num_lines, self._use_shadow)
@@ -147,25 +150,20 @@ class SpeculativeCacheAnalysis:
         visits: dict[str, int] = {name: 0 for name in reachable}
 
         fixpoint = SpeculativeFixpoint(normal=normal, speculative=speculative)
+        worklist = PriorityWorklist(order, initial=[cfg.entry])
 
-        worklist: set[str] = {cfg.entry}
-        total_visits = 0
-        while worklist:
-            name = min(worklist, key=lambda block: order.get(block, 1 << 30))
-            worklist.discard(name)
-            total_visits += 1
-            if total_visits > MAX_VISITS:
-                raise AnalysisError(
-                    f"speculative fixpoint did not converge within {MAX_VISITS} visits"
-                )
+        def step(name: str) -> set[str]:
             visits[name] += 1
             fixpoint.iterations += 1
-
-            deliveries = self._process_block(name, normal, speculative, worklist)
-            changed = self._apply_deliveries(
-                deliveries, normal, speculative, widening_points, visits, fixpoint
+            deliveries = self._process_block(name, normal, speculative, worklist.push)
+            return self._apply_deliveries(
+                deliveries, normal, speculative, policy, visits
             )
-            worklist |= changed
+
+        run_fixpoint(
+            worklist, step, max_visits=MAX_VISITS, description="speculative fixpoint"
+        )
+        fixpoint.widenings = policy.widenings
         return fixpoint
 
     def _process_block(
@@ -173,7 +171,7 @@ class SpeculativeCacheAnalysis:
         name: str,
         normal: dict[str, object],
         speculative: dict[str, dict[SlotKey, object]],
-        worklist: set[str],
+        requeue,
     ) -> list[_Delivery]:
         deliveries: list[_Delivery] = []
         successors = self.cfg.successors(name)
@@ -205,9 +203,9 @@ class SpeculativeCacheAnalysis:
             if window.depth > previous_window.depth:
                 # The window grew (the condition is no longer a proven hit):
                 # re-propagate from every block of the old window.
-                worklist.update(
-                    block for block in previous_window.allowed if block in normal
-                )
+                for block in previous_window.allowed:
+                    if block in normal:
+                        requeue(block)
             if window.depth <= 0 or not window.contains(scenario.wrong_target):
                 continue
             deliveries.append(
@@ -274,9 +272,8 @@ class SpeculativeCacheAnalysis:
         deliveries: list[_Delivery],
         normal: dict[str, object],
         speculative: dict[str, dict[SlotKey, object]],
-        widening_points: set[str],
+        policy: WideningPolicy,
         visits: dict[str, int],
-        fixpoint: SpeculativeFixpoint,
     ) -> set[str]:
         changed: set[str] = set()
         for delivery in deliveries:
@@ -285,12 +282,9 @@ class SpeculativeCacheAnalysis:
                 continue
             if delivery.slot is None:
                 current = normal[target]
-                joined = current.join(delivery.value)
-                if target in widening_points and visits.get(target, 0) >= WIDENING_DELAY:
-                    widened = joined.widen(current)
-                    if widened is not joined:
-                        fixpoint.widenings += 1
-                    joined = widened
+                joined = policy.apply(
+                    target, visits.get(target, 0), current, current.join(delivery.value)
+                )
                 if not joined.leq(current):
                     normal[target] = joined
                     changed.add(target)

@@ -40,7 +40,14 @@ class AccessClassification:
 
 @dataclass
 class CacheAnalysisResult:
-    """Everything an analysis run produces."""
+    """Everything an analysis run produces.
+
+    ``analysis_time`` is the wall-clock cost of the fixpoint computation
+    that produced these states.  When the result is replayed from an
+    engine's result cache, ``from_cache`` is set and ``analysis_time``
+    still reports the original computation — the lookup itself is
+    near-free and not an "analysis time".
+    """
 
     program_name: str
     cache_config: CacheConfig
@@ -53,6 +60,7 @@ class CacheAnalysisResult:
     num_speculative_branches: int = 0
     num_virtual_edges: int = 0
     num_virtual_edges_active: int = 0
+    from_cache: bool = False
 
     # ------------------------------------------------------------------
     # Normal-execution counts
@@ -127,9 +135,10 @@ class CacheAnalysisResult:
                 f"speculative branches: {self.num_speculative_branches}  "
                 f"virtual edges: {self.num_virtual_edges_active}/{self.num_virtual_edges}"
             )
+        cached = " (cached)" if self.from_cache else ""
         lines.append(
             f"  iterations: {self.iterations}  widenings: {self.widenings}  "
-            f"time: {self.analysis_time:.3f}s"
+            f"time: {self.analysis_time:.3f}s{cached}"
         )
         if self.secret_indexed_classifications():
             verdict = "LEAK DETECTED" if self.leak_detected else "no leak found"

@@ -21,10 +21,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.baseline import analyze_baseline
 from repro.analysis.result import AccessClassification, CacheAnalysisResult
-from repro.analysis.speculative import analyze_speculative
 from repro.cache.config import CacheConfig
+from repro.engine.engine import AnalysisEngine, default_engine
+from repro.engine.request import program_request
 from repro.frontend import CompiledProgram
 from repro.speculation.config import SpeculationConfig
 
@@ -101,14 +101,16 @@ def detect_leaks(
     speculation: SpeculationConfig | None = None,
     speculative: bool = True,
     name: str | None = None,
+    engine: AnalysisEngine | None = None,
 ) -> LeakReport:
-    """Run leak detection on ``program`` with one analysis flavour."""
-    config = cache_config or CacheConfig.paper_default()
+    """Run leak detection on ``program`` with one analysis flavour.
+
+    The analysis is submitted through ``engine`` (the process-wide default
+    when omitted) and benefits from its compile and result caches.
+    """
     label = name or program.cfg.name
-    if speculative:
-        result = analyze_speculative(program, cache_config=config, speculation=speculation)
-    else:
-        result = analyze_baseline(program, cache_config=config)
+    request = program_request(program, cache_config, speculation, speculative, label)
+    result = (engine or default_engine()).run(request, program=program)
     return LeakReport.from_result(label, result, speculative)
 
 
@@ -118,22 +120,24 @@ def compare_leaks(
     speculation: SpeculationConfig | None = None,
     buffer_bytes: int = 0,
     name: str | None = None,
+    engine: AnalysisEngine | None = None,
 ) -> LeakComparison:
-    """Produce one Table-7 row for ``program``."""
+    """Produce one Table-7 row for ``program``.
+
+    Both analyses are submitted through the engine as one batch.
+    """
     label = name or program.cfg.name
-    non_spec = detect_leaks(
-        program, cache_config=cache_config, speculative=False, name=label
-    )
-    spec = detect_leaks(
-        program,
-        cache_config=cache_config,
-        speculation=speculation,
-        speculative=True,
-        name=label,
+    eng = engine or default_engine()
+    eng.seed_program(program_request(program, cache_config, label=label), program)
+    non_spec_result, spec_result = eng.run_batch(
+        [
+            program_request(program, cache_config, speculative=False, label=label),
+            program_request(program, cache_config, speculation, speculative=True, label=label),
+        ]
     )
     return LeakComparison(
         name=label,
         buffer_bytes=buffer_bytes,
-        non_speculative=non_spec,
-        speculative=spec,
+        non_speculative=LeakReport.from_result(label, non_spec_result, False),
+        speculative=LeakReport.from_result(label, spec_result, True),
     )

@@ -16,13 +16,12 @@ speculation underestimates the bound.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
-from repro.analysis.baseline import analyze_baseline
 from repro.analysis.result import CacheAnalysisResult
-from repro.analysis.speculative import analyze_speculative
 from repro.cache.config import CacheConfig
+from repro.engine.engine import AnalysisEngine, default_engine
+from repro.engine.request import program_request
 from repro.frontend import CompiledProgram
 from repro.speculation.config import SpeculationConfig
 
@@ -96,16 +95,18 @@ def estimate_wcet(
     speculation: SpeculationConfig | None = None,
     speculative: bool = True,
     name: str | None = None,
+    engine: AnalysisEngine | None = None,
 ) -> WcetEstimate:
-    """Estimate the WCET-relevant miss count of ``program`` with one analysis."""
+    """Estimate the WCET-relevant miss count of ``program`` with one analysis.
+
+    The analysis is submitted through ``engine`` (the process-wide default
+    when omitted), so repeated estimates of the same program and
+    configuration are answered from the result cache.
+    """
     config = cache_config or CacheConfig.paper_default()
     label = name or program.cfg.name
-    started = time.perf_counter()
-    if speculative:
-        result = analyze_speculative(program, cache_config=config, speculation=speculation)
-    else:
-        result = analyze_baseline(program, cache_config=config)
-    result.analysis_time = time.perf_counter() - started
+    request = program_request(program, config, speculation, speculative, label)
+    result = (engine or default_engine()).run(request, program=program)
     return WcetEstimate.from_result(label, result, config)
 
 
@@ -114,17 +115,24 @@ def compare_wcet(
     cache_config: CacheConfig | None = None,
     speculation: SpeculationConfig | None = None,
     name: str | None = None,
+    engine: AnalysisEngine | None = None,
 ) -> WcetComparison:
-    """Produce one Table-5 row for ``program``."""
+    """Produce one Table-5 row for ``program``.
+
+    Both analyses are submitted through the engine as one batch.
+    """
+    config = cache_config or CacheConfig.paper_default()
     label = name or program.cfg.name
-    non_spec = estimate_wcet(
-        program, cache_config=cache_config, speculative=False, name=label
+    eng = engine or default_engine()
+    eng.seed_program(program_request(program, config, label=label), program)
+    non_spec_result, spec_result = eng.run_batch(
+        [
+            program_request(program, config, speculative=False, label=label),
+            program_request(program, config, speculation, speculative=True, label=label),
+        ]
     )
-    spec = estimate_wcet(
-        program,
-        cache_config=cache_config,
-        speculation=speculation,
-        speculative=True,
+    return WcetComparison(
         name=label,
+        non_speculative=WcetEstimate.from_result(label, non_spec_result, config),
+        speculative=WcetEstimate.from_result(label, spec_result, config),
     )
-    return WcetComparison(name=label, non_speculative=non_spec, speculative=spec)

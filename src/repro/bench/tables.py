@@ -17,15 +17,17 @@ size).  EXPERIMENTS.md records the consequences of this scaling.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.analysis import analyze_baseline, analyze_speculative
-from repro.apps.sidechannel import LeakComparison, compare_leaks
-from repro.apps.wcet import WcetComparison, compare_wcet
+from repro.apps.sidechannel import LeakComparison, LeakReport
+from repro.apps.wcet import WcetComparison, WcetEstimate
 from repro.bench.client import build_client_source
 from repro.bench.crypto import CRYPTO_BENCHMARKS, crypto_kernel
 from repro.bench.programs import WCET_BENCHMARKS, motivating_example_source, wcet_benchmark_source
 from repro.cache.config import CacheConfig
+from repro.engine.engine import AnalysisEngine, default_engine
+from repro.engine.request import AnalysisRequest
 from repro.frontend import compile_source
 from repro.speculation.config import SpeculationConfig
 from repro.speculation.merge import MergeStrategy
@@ -127,17 +129,36 @@ def generate_table5(
     names: list[str] | None = None,
     cache_config: CacheConfig | None = None,
     speculation: SpeculationConfig | None = None,
+    engine: AnalysisEngine | None = None,
+    max_workers: int | None = None,
 ) -> list[WcetComparison]:
     """Run the non-speculative and speculative analyses on every WCET
-    benchmark and return one comparison row per benchmark."""
+    benchmark and return one comparison row per benchmark.
+
+    All 2x|names| analyses are submitted to the engine as one batch: each
+    benchmark compiles once (shared by both analysis kinds) and, with
+    ``max_workers > 1`` (or ``REPRO_MAX_WORKERS`` set), the batch fans out
+    over a process pool.
+    """
     cache = cache_config or BENCH_CACHE
     spec = speculation or BENCH_SPECULATION
-    rows: list[WcetComparison] = []
-    for name in names or list(WCET_BENCHMARKS):
+    names = names or list(WCET_BENCHMARKS)
+    eng = engine or default_engine()
+    requests: list[AnalysisRequest] = []
+    for name in names:
         source = wcet_benchmark_source(name, cache.num_lines, cache.line_size)
-        program = compile_source(source, line_size=cache.line_size)
+        common = dict(source=source, line_size=cache.line_size, cache_config=cache, label=name)
+        requests.append(AnalysisRequest.baseline(**common))
+        requests.append(AnalysisRequest.speculative(speculation=spec, **common))
+    results = eng.run_batch(requests, max_workers=max_workers)
+    rows: list[WcetComparison] = []
+    for name, base, spec_result in zip(names, results[0::2], results[1::2]):
         rows.append(
-            compare_wcet(program, cache_config=cache, speculation=spec, name=name)
+            WcetComparison(
+                name=name,
+                non_speculative=WcetEstimate.from_result(name, base, cache),
+                speculative=WcetEstimate.from_result(name, spec_result, cache),
+            )
         )
     return rows
 
@@ -148,27 +169,47 @@ def generate_table5(
 def generate_table6(
     names: list[str] | None = None,
     cache_config: CacheConfig | None = None,
+    engine: AnalysisEngine | None = None,
+    max_workers: int | None = None,
 ) -> list[tuple[str, WcetComparison, WcetComparison]]:
     """Compare merge-at-rollback (Figure 6d) with Just-in-Time merging
-    (Figure 6c) on the WCET benchmark set."""
+    (Figure 6c) on the WCET benchmark set.
+
+    Submitted as one batch of 3x|names| requests (the non-speculative
+    baseline is strategy-independent, so it is analysed once per benchmark
+    and shared between the two comparisons)."""
     cache = cache_config or BENCH_CACHE
-    rows: list[tuple[str, WcetComparison, WcetComparison]] = []
-    for name in names or list(WCET_BENCHMARKS):
+    names = names or list(WCET_BENCHMARKS)
+    eng = engine or default_engine()
+    rollback = BENCH_SPECULATION.with_strategy(MergeStrategy.MERGE_AT_ROLLBACK)
+    jit = BENCH_SPECULATION.with_strategy(MergeStrategy.JUST_IN_TIME)
+    requests: list[AnalysisRequest] = []
+    for name in names:
         source = wcet_benchmark_source(name, cache.num_lines, cache.line_size)
-        program = compile_source(source, line_size=cache.line_size)
-        at_rollback = compare_wcet(
-            program,
-            cache_config=cache,
-            speculation=BENCH_SPECULATION.with_strategy(MergeStrategy.MERGE_AT_ROLLBACK),
-            name=name,
+        common = dict(source=source, line_size=cache.line_size, cache_config=cache, label=name)
+        requests.append(AnalysisRequest.baseline(**common))
+        requests.append(AnalysisRequest.speculative(speculation=rollback, **common))
+        requests.append(AnalysisRequest.speculative(speculation=jit, **common))
+    results = eng.run_batch(requests, max_workers=max_workers)
+    rows: list[tuple[str, WcetComparison, WcetComparison]] = []
+    for index, name in enumerate(names):
+        base, rollback_result, jit_result = results[3 * index : 3 * index + 3]
+        base_estimate = WcetEstimate.from_result(name, base, cache)
+        rows.append(
+            (
+                name,
+                WcetComparison(
+                    name=name,
+                    non_speculative=base_estimate,
+                    speculative=WcetEstimate.from_result(name, rollback_result, cache),
+                ),
+                WcetComparison(
+                    name=name,
+                    non_speculative=base_estimate,
+                    speculative=WcetEstimate.from_result(name, jit_result, cache),
+                ),
+            )
         )
-        just_in_time = compare_wcet(
-            program,
-            cache_config=cache,
-            speculation=BENCH_SPECULATION.with_strategy(MergeStrategy.JUST_IN_TIME),
-            name=name,
-        )
-        rows.append((name, at_rollback, just_in_time))
     return rows
 
 
@@ -180,26 +221,40 @@ def generate_table7(
     cache_config: CacheConfig | None = None,
     speculation: SpeculationConfig | None = None,
     buffer_bytes: dict[str, int] | None = None,
+    engine: AnalysisEngine | None = None,
+    max_workers: int | None = None,
 ) -> list[LeakComparison]:
-    """Run leak detection on every crypto benchmark's client harness."""
+    """Run leak detection on every crypto benchmark's client harness.
+
+    Submitted as one batch of 2x|names| requests through the engine."""
     cache = cache_config or BENCH_CACHE
     spec = speculation or BENCH_SPECULATION
     buffers = dict(TABLE7_BUFFER_BYTES)
     if buffer_bytes:
         buffers.update(buffer_bytes)
-    rows: list[LeakComparison] = []
-    for name in names or list(CRYPTO_BENCHMARKS):
+    names = names or list(CRYPTO_BENCHMARKS)
+    eng = engine or default_engine()
+    requests: list[AnalysisRequest] = []
+    row_buffers: list[int] = []
+    for name in names:
         kernel = crypto_kernel(name, cache.num_lines, cache.line_size)
         buffer = buffers.get(name, cache.size_bytes)
+        row_buffers.append(buffer)
         source = build_client_source(kernel, buffer, line_size=cache.line_size)
-        program = compile_source(source, line_size=cache.line_size)
+        common = dict(source=source, line_size=cache.line_size, cache_config=cache, label=name)
+        requests.append(AnalysisRequest.baseline(**common))
+        requests.append(AnalysisRequest.speculative(speculation=spec, **common))
+    results = eng.run_batch(requests, max_workers=max_workers)
+    rows: list[LeakComparison] = []
+    for name, buffer, base, spec_result in zip(
+        names, row_buffers, results[0::2], results[1::2]
+    ):
         rows.append(
-            compare_leaks(
-                program,
-                cache_config=cache,
-                speculation=spec,
-                buffer_bytes=buffer,
+            LeakComparison(
                 name=name,
+                buffer_bytes=buffer,
+                non_speculative=LeakReport.from_result(name, base, False),
+                speculative=LeakReport.from_result(name, spec_result, True),
             )
         )
     return rows
@@ -228,19 +283,29 @@ class DepthAblationRow:
 def run_depth_ablation(
     names: list[str] | None = None,
     cache_config: CacheConfig | None = None,
+    engine: AnalysisEngine | None = None,
+    max_workers: int | None = None,
 ) -> list[DepthAblationRow]:
-    """Measure what the Section-6.2 optimisation buys on the WCET set."""
+    """Measure what the Section-6.2 optimisation buys on the WCET set.
+
+    Submitted as one batch of 2x|names| speculative analyses, with and
+    without dynamic depth bounding."""
     cache = cache_config or BENCH_CACHE
-    rows: list[DepthAblationRow] = []
-    for name in names or list(WCET_BENCHMARKS):
+    names = names or list(WCET_BENCHMARKS)
+    eng = engine or default_engine()
+    bounded = replace(BENCH_SPECULATION, dynamic_depth_bounding=True)
+    unbounded = replace(BENCH_SPECULATION, dynamic_depth_bounding=False)
+    requests: list[AnalysisRequest] = []
+    for name in names:
         source = wcet_benchmark_source(name, cache.num_lines, cache.line_size)
-        program = compile_source(source, line_size=cache.line_size)
-        with_bounding = analyze_speculative(
-            program, cache_config=cache, dynamic_depth_bounding=True
-        )
-        without_bounding = analyze_speculative(
-            program, cache_config=cache, dynamic_depth_bounding=False
-        )
+        common = dict(source=source, line_size=cache.line_size, cache_config=cache, label=name)
+        requests.append(AnalysisRequest.speculative(speculation=bounded, **common))
+        requests.append(AnalysisRequest.speculative(speculation=unbounded, **common))
+    results = eng.run_batch(requests, max_workers=max_workers)
+    rows: list[DepthAblationRow] = []
+    for name, with_bounding, without_bounding in zip(
+        names, results[0::2], results[1::2]
+    ):
         rows.append(
             DepthAblationRow(
                 name=name,

@@ -1,0 +1,229 @@
+"""The AnalysisEngine service layer.
+
+One engine instance owns two LRU caches — compiled programs keyed by a
+content hash of the source and front-end options, and analysis results
+keyed by the full request — and resolves declarative
+:class:`~repro.engine.request.AnalysisRequest` values through them.  All
+applications (:mod:`repro.apps.wcet`, :mod:`repro.apps.sidechannel`) and
+the table generators (:mod:`repro.bench.tables`) submit their work here,
+so a batch that re-analyses the same program under several
+configurations compiles it once, and repeated requests skip the front
+end and the fixpoint entirely.
+
+:func:`execute_request` is the cache-free core — a pure module-level
+function so process-pool workers (see :mod:`repro.engine.batch`) can run
+it by reference.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+
+from repro.engine.cache import CacheStats, LRUCache
+from repro.engine.request import AnalysisKind, AnalysisRequest
+from repro.frontend import CompiledProgram, compile_source
+
+#: Default capacity of the compile cache (compiled CFGs are the largest
+#: objects the engine retains).
+DEFAULT_COMPILE_CACHE_SIZE = 256
+
+#: Default capacity of the result cache.
+DEFAULT_RESULT_CACHE_SIZE = 1024
+
+
+def compile_request(request: AnalysisRequest) -> CompiledProgram:
+    """Run the front end for ``request`` (no caching)."""
+    return compile_source(
+        request.source,
+        entry=request.entry,
+        line_size=request.line_size,
+        unroll=request.unroll,
+        inline=request.inline,
+        max_unroll_iterations=request.max_unroll_iterations,
+    )
+
+
+def execute_request(
+    request: AnalysisRequest, program: CompiledProgram | None = None
+):
+    """Compile (unless ``program`` is given) and analyse one request.
+
+    This is deterministic and side-effect free, so sequential execution,
+    cached replay and process-pool fan-out all produce bit-identical
+    classifications for the same request.
+    """
+    # Imported lazily: the analyses' fixpoint loops import the worklist
+    # kernel from this package, so a module-level import would be circular.
+    from repro.analysis.baseline import analyze_baseline
+    from repro.analysis.speculative import analyze_speculative
+
+    if program is None:
+        program = compile_request(request)
+    if request.kind is AnalysisKind.BASELINE:
+        return analyze_baseline(
+            program,
+            cache_config=request.cache_config,
+            use_shadow_state=request.use_shadow_state,
+        )
+    return analyze_speculative(
+        program,
+        cache_config=request.cache_config,
+        speculation=request.speculation,
+    )
+
+
+@dataclass
+class EngineStats:
+    """Aggregate accounting for one engine instance."""
+
+    compile: CacheStats = field(default_factory=CacheStats)
+    results: CacheStats = field(default_factory=CacheStats)
+    requests: int = 0
+    batches: int = 0
+    parallel_batches: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"engine: {self.requests} requests, {self.batches} batches "
+            f"({self.parallel_batches} parallel)\n"
+            f"  compile cache: {self.compile}\n"
+            f"  result cache:  {self.results}"
+        )
+
+
+class AnalysisEngine:
+    """Resolve analysis requests through compile and result caches."""
+
+    def __init__(
+        self,
+        compile_cache_size: int = DEFAULT_COMPILE_CACHE_SIZE,
+        result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+    ):
+        self._compile_cache = LRUCache(maxsize=compile_cache_size)
+        self._result_cache = LRUCache(maxsize=result_cache_size)
+        self._requests = 0
+        self._batches = 0
+        self._parallel_batches = 0
+
+    # ------------------------------------------------------------------
+    # Single-request API
+    # ------------------------------------------------------------------
+    def compile(self, request: AnalysisRequest) -> CompiledProgram:
+        """Return the compiled program for ``request``, caching by the
+        content hash of the source and front-end options."""
+        return self._compile_cache.get_or_compute(
+            request.compile_key(), lambda: compile_request(request)
+        )
+
+    def run(
+        self, request: AnalysisRequest, program: CompiledProgram | None = None
+    ):
+        """Resolve one request to a :class:`CacheAnalysisResult`.
+
+        ``program`` optionally supplies an already-compiled program for
+        this request's source (it must match; callers that hold one avoid
+        the compile-cache round trip).  The returned result is a copy —
+        mutating it never corrupts the cache — and cache hits are marked
+        ``from_cache`` (their ``analysis_time`` reports the original
+        computation, not the lookup).
+        """
+        self._requests += 1
+        key = request.result_key()
+        cached = self._result_cache.get(key)
+        if cached is not None:
+            return _copy_result(cached, from_cache=True)
+        result = execute_request(request, program=program or self.compile(request))
+        self._result_cache.put(key, result)
+        return _copy_result(result)
+
+    def seed_program(self, request: AnalysisRequest, program: CompiledProgram) -> None:
+        """Pre-populate the compile cache with an already-compiled program.
+
+        ``program`` must be what :func:`compile_request` would produce for
+        ``request`` — callers holding a compiled program use this so a
+        subsequent batch over the same source skips the front end.
+        """
+        self._compile_cache.put(request.compile_key(), program)
+
+    def run_batch(self, requests, max_workers: int | None = None) -> list:
+        """Resolve many requests, optionally fanning out over a process
+        pool; results come back in request order regardless of worker
+        scheduling.  See :func:`repro.engine.batch.run_batch`."""
+        from repro.engine.batch import run_batch
+
+        return run_batch(self, requests, max_workers=max_workers)
+
+    # ------------------------------------------------------------------
+    # Introspection / maintenance
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> EngineStats:
+        return EngineStats(
+            compile=self._compile_cache.stats.snapshot(),
+            results=self._result_cache.stats.snapshot(),
+            requests=self._requests,
+            batches=self._batches,
+            parallel_batches=self._parallel_batches,
+        )
+
+    def clear_caches(self) -> None:
+        self._compile_cache.clear()
+        self._result_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Internal hooks used by the batch executor
+    # ------------------------------------------------------------------
+    def _cached_result(self, request: AnalysisRequest):
+        """Result-cache lookup (counts as a hit/miss); None on miss."""
+        cached = self._result_cache.get(request.result_key())
+        return _copy_result(cached, from_cache=True) if cached is not None else None
+
+    def _store_result(self, request: AnalysisRequest, result) -> None:
+        self._result_cache.put(request.result_key(), result)
+
+    def _note_batch(self, parallel: bool, requests: int = 0) -> None:
+        """``requests`` is passed by batch paths that bypass run() (which
+        counts requests itself)."""
+        self._batches += 1
+        if parallel:
+            self._parallel_batches += 1
+        self._requests += requests
+
+    def _note_parallel_work(
+        self, compiles: int, compile_reuses: int, duplicate_hits: int
+    ) -> None:
+        """Mirror sequential accounting for work done outside run():
+        logical compile misses/reuses performed by pool workers, and
+        result-cache hits for in-batch duplicate requests."""
+        self._compile_cache.stats.misses += compiles
+        self._compile_cache.stats.hits += compile_reuses
+        self._result_cache.stats.hits += duplicate_hits
+
+
+def _copy_result(result, from_cache: bool = False):
+    """Shallow-copy a result's mutable containers (their elements — abstract
+    states, classifications — are immutable values), marking cache replays."""
+    return replace(
+        result,
+        entry_states=dict(result.entry_states),
+        classifications=list(result.classifications),
+        from_cache=from_cache or result.from_cache,
+    )
+
+
+# ----------------------------------------------------------------------
+# Process-wide default engine
+# ----------------------------------------------------------------------
+_default_engine: AnalysisEngine | None = None
+_default_engine_lock = threading.Lock()
+
+
+def default_engine() -> AnalysisEngine:
+    """The process-wide engine shared by the applications and table
+    generators when no explicit engine is passed."""
+    global _default_engine
+    with _default_engine_lock:
+        if _default_engine is None:
+            _default_engine = AnalysisEngine()
+        return _default_engine

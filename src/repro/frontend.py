@@ -22,7 +22,13 @@ from repro.lang.typecheck import ProgramInfo, check_program
 
 @dataclass
 class CompiledProgram:
-    """Everything produced by the front end for one MiniC program."""
+    """Everything produced by the front end for one MiniC program.
+
+    The front-end options (``unroll``, ``inline``,
+    ``max_unroll_iterations``) are recorded so that a compile of this
+    program can be reproduced exactly — the engine's request layer keys
+    its caches on them.
+    """
 
     source: str
     info: ProgramInfo
@@ -30,6 +36,9 @@ class CompiledProgram:
     cfg: CFG
     layout: MemoryLayout
     unroll_stats: UnrollStats
+    unroll: bool = True
+    inline: bool = True
+    max_unroll_iterations: int = 4096
 
     @property
     def entry_function(self) -> str:
@@ -84,6 +93,9 @@ def compile_source(
         cfg=entry_cfg,
         layout=layout,
         unroll_stats=unroll_stats,
+        unroll=unroll,
+        inline=inline,
+        max_unroll_iterations=max_unroll_iterations,
     )
 
 
