@@ -1,0 +1,131 @@
+"""Service throughput: warm on-disk store vs cold start.
+
+Replays the evaluation's traffic shape — every WCET kernel analysed both
+ways, repeated, exactly what :mod:`repro.bench.workloads` generates for
+the tables — through the full service stack (scheduler → engine → store)
+twice against the same store directory:
+
+* **cold**: empty store; every distinct request compiles and runs its
+  fixpoint (repeats are answered by coalescing and the result LRU);
+* **warm**: a fresh engine and scheduler (simulating a daemon restart)
+  over the now-populated store; every request is served from disk.
+
+The measured ratio is the number the ISSUE asks the PR to report: what a
+restart costs with and without the persistent tier.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py [--smoke]
+
+or under pytest (explicit path, as for all benchmarks)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service_throughput.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.bench.programs import WCET_BENCHMARKS, wcet_benchmark_source
+from repro.bench.tables import BENCH_CACHE, BENCH_SPECULATION
+from repro.engine.engine import AnalysisEngine
+from repro.engine.request import AnalysisRequest
+from repro.service.scheduler import JobScheduler
+from repro.service.store import ResultStore
+from repro.service.wire import result_fingerprint
+
+
+def build_workload(programs: int, repeats: int) -> list[AnalysisRequest]:
+    """``programs`` kernels x {baseline, speculative} x ``repeats``."""
+    requests: list[AnalysisRequest] = []
+    for name in list(WCET_BENCHMARKS)[:programs]:
+        source = wcet_benchmark_source(name, BENCH_CACHE.num_lines, BENCH_CACHE.line_size)
+        common = dict(
+            source=source,
+            line_size=BENCH_CACHE.line_size,
+            cache_config=BENCH_CACHE,
+            label=name,
+        )
+        requests.append(AnalysisRequest.baseline(**common))
+        requests.append(
+            AnalysisRequest.speculative(speculation=BENCH_SPECULATION, **common)
+        )
+    return requests * repeats
+
+
+def replay(store_dir: Path, requests: list[AnalysisRequest], max_workers: int):
+    """One daemon lifetime: fresh engine + scheduler over ``store_dir``.
+
+    Returns ``(elapsed_seconds, fingerprints, engine_stats)``.
+    """
+    engine = AnalysisEngine(result_store=ResultStore(store_dir))
+    started = time.perf_counter()
+    with JobScheduler(engine, max_workers=max_workers) as scheduler:
+        jobs = [scheduler.submit(request) for request in requests]
+        results = [job.result(timeout=600) for job in jobs]
+    elapsed = time.perf_counter() - started
+    return elapsed, [result_fingerprint(result) for result in results], engine.stats
+
+
+def run(programs: int, repeats: int, max_workers: int, store_dir: Path) -> float:
+    requests = build_workload(programs, repeats)
+    distinct = len({request.result_key() for request in requests})
+    print(
+        f"workload: {len(requests)} requests ({distinct} distinct), "
+        f"{max_workers} scheduler workers"
+    )
+
+    cold_time, cold_prints, cold_stats = replay(store_dir, requests, max_workers)
+    print(f"cold start (empty store):     {cold_time:8.3f}s   [{cold_stats.store}]")
+
+    warm_time, warm_prints, warm_stats = replay(store_dir, requests, max_workers)
+    print(f"warm start (populated store): {warm_time:8.3f}s   [{warm_stats.store}]")
+
+    assert cold_prints == warm_prints, "warm results must be bit-identical to cold"
+    assert warm_stats.store.hits == distinct, "every distinct request must hit the store"
+    assert warm_stats.compile.lookups == 0, "warm traffic must never reach the front end"
+
+    speedup = cold_time / warm_time if warm_time > 0 else float("inf")
+    print(f"warm-vs-cold speedup:         {speedup:8.1f}x")
+    return speedup
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small workload for CI (2 kernels, 2 repeats)")
+    parser.add_argument("--programs", type=int, default=6)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--max-workers", type=int, default=2)
+    parser.add_argument("--store-dir", default=None,
+                        help="reuse a store directory instead of a fresh temp dir")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.programs, args.repeats = 2, 2
+
+    if args.store_dir is not None:
+        speedup = run(args.programs, args.repeats, args.max_workers, Path(args.store_dir))
+    else:
+        tmp = Path(tempfile.mkdtemp(prefix="repro-bench-store-"))
+        try:
+            speedup = run(args.programs, args.repeats, args.max_workers, tmp)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+    return 0 if speedup > 1.0 else 1
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (explicit: pytest benchmarks/bench_service_throughput.py)
+# ----------------------------------------------------------------------
+def test_warm_store_beats_cold_start(tmp_path):
+    speedup = run(programs=2, repeats=2, max_workers=2, store_dir=tmp_path / "store")
+    assert speedup > 2.0, f"warm store should be >2x faster, got {speedup:.1f}x"
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,34 +6,48 @@ four strategies, showing the precision/cost trade-off the paper discusses
 (Just-in-Time merging is the recommended one), and prints the abstract
 cache state at the merge point of the Figure 7 example for each strategy.
 
+The four per-strategy analyses are submitted to the process-wide engine
+as one batch, so the diamond compiles once and the requests deduplicate
+and (with ``REPRO_MAX_WORKERS``) fan out exactly as daemon traffic would.
+
 Run with::
 
     python examples/merge_strategies.py
 """
 
-from repro import compile_source
-from repro.analysis import analyze_speculative
+from repro import AnalysisRequest, default_engine
 from repro.apps.report import format_merge_table
-from repro.bench.programs import figure7_source, wcet_benchmark_source
-from repro.bench.tables import BENCH_CACHE, generate_table6
+from repro.bench.programs import figure7_source
+from repro.bench.tables import generate_table6
 from repro.cache.config import CacheConfig
-from repro.ir.memory import MemoryBlock
 from repro.speculation.config import SpeculationConfig
 from repro.speculation.merge import MergeStrategy
 
 
 def figure7_states() -> None:
     print("=== Figure 7: abstract state at the merge point (4-line cache) ===")
-    program = compile_source(figure7_source())
+    source = figure7_source()
     cache = CacheConfig.small(num_lines=4)
+    engine = default_engine()
+    requests = [
+        AnalysisRequest.speculative(
+            source,
+            cache_config=cache,
+            speculation=SpeculationConfig(
+                depth_miss=2, depth_hit=2, merge_strategy=strategy
+            ),
+            label=f"figure7-{strategy.name.lower()}",
+        )
+        for strategy in MergeStrategy
+    ]
+    program = engine.compile(requests[0])
     merge_block = [
         name
         for name in program.cfg.reachable_blocks()
         if any(ref.symbol == "a" for ref in program.cfg.block(name).memory_refs())
     ][-1]
-    for strategy in MergeStrategy:
-        config = SpeculationConfig(depth_miss=2, depth_hit=2, merge_strategy=strategy)
-        result = analyze_speculative(program, cache, speculation=config)
+    results = engine.run_batch(requests)
+    for strategy, result in zip(MergeStrategy, results):
         state = result.entry_states[merge_block]
         cached = sorted(
             str(block) for block in state.cached_blocks() if not block.is_placeholder
@@ -62,6 +76,8 @@ def table6() -> None:
 def main() -> None:
     figure7_states()
     table6()
+    print()
+    print(default_engine().stats)
 
 
 if __name__ == "__main__":

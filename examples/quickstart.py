@@ -3,18 +3,23 @@
 
 This walks through the whole pipeline on the motivating example:
 
-1. compile a MiniC program to a CFG with explicit memory references;
+1. build a declarative analysis request and compile it through the
+   engine (repeat runs hit the compile cache);
 2. run the classical (non-speculative) must-hit cache analysis;
 3. run the speculation-sound analysis of the paper;
 4. compare both against a concrete speculative execution.
+
+Everything is submitted through the process-wide
+:class:`~repro.engine.engine.AnalysisEngine` — the same path the
+``repro`` daemon serves — so re-running a request is answered from the
+result cache instead of re-executing the fixpoint.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import compile_source
-from repro.analysis import analyze_baseline, analyze_speculative
+from repro import AnalysisRequest, default_engine
 from repro.bench.programs import motivating_example_source
 from repro.cache.config import CacheConfig
 from repro.speculation.predictor import OpposingPredictor, PerfectPredictor
@@ -25,9 +30,12 @@ def main() -> None:
     # The Figure 2 program, sized for the paper's 512-line 32-KB data cache.
     source = motivating_example_source(num_lines=512, line_size=64)
     cache = CacheConfig.paper_default()
+    engine = default_engine()
 
-    print("=== compiling ===")
-    program = compile_source(source)
+    print("=== compiling (through the engine's compile cache) ===")
+    baseline_request = AnalysisRequest.baseline(source, cache_config=cache)
+    speculative_request = AnalysisRequest.speculative(source, cache_config=cache)
+    program = engine.compile(baseline_request)
     print(f"entry function: {program.cfg.name}")
     print(f"basic blocks:   {len(program.cfg.blocks)}")
     print(f"instructions:   {program.cfg.instruction_count}")
@@ -35,12 +43,12 @@ def main() -> None:
     print()
 
     print("=== classical must-hit analysis (Algorithm 1) ===")
-    baseline = analyze_baseline(program, cache_config=cache)
+    baseline = engine.run(baseline_request)
     print(baseline.summary())
     print()
 
     print("=== speculation-sound analysis (Algorithms 2/3) ===")
-    speculative = analyze_speculative(program, cache_config=cache)
+    speculative = engine.run(speculative_request)
     print(speculative.summary())
     print()
 
@@ -66,6 +74,12 @@ def main() -> None:
     print("The non-speculative analysis certifies the final access as a hit, "
           "yet a single misprediction makes it miss — exactly the unsoundness "
           "the paper fixes.")
+    print()
+
+    print("=== the service view ===")
+    replay = engine.run(speculative_request)
+    print(f"re-running the speculative request: from_cache = {replay.from_cache}")
+    print(engine.stats)
 
 
 if __name__ == "__main__":

@@ -7,6 +7,11 @@ S-box, touch an attacker-controlled buffer, run the kernel, access the
 S-box with the secret key) and analysed both ways.  The script also shows
 the buffer-size sweep the paper describes for one kernel.
 
+Compilation and both analyses go through the process-wide engine (the
+same path the ``repro`` daemon serves), so every harness compiles once
+and the sweep benefits from the result cache; ``repro sidechannel`` is
+the daemon-backed equivalent.
+
 Run with::
 
     python examples/side_channel_detection.py [kernel ...]
@@ -14,7 +19,7 @@ Run with::
 
 import sys
 
-from repro import compile_source
+from repro import AnalysisRequest, default_engine
 from repro.apps.report import format_leak_table
 from repro.apps.sidechannel import compare_leaks
 from repro.bench.client import build_client_source
@@ -29,12 +34,15 @@ def main(argv: list[str]) -> None:
     if unknown:
         raise SystemExit(f"unknown kernels {unknown}; available: {sorted(CRYPTO_BENCHMARKS)}")
 
+    engine = default_engine()
     rows = []
     for name in names:
         kernel = crypto_kernel(name, BENCH_CACHE.num_lines, BENCH_CACHE.line_size)
         buffer_bytes = TABLE7_BUFFER_BYTES.get(name, BENCH_CACHE.size_bytes)
         source = build_client_source(kernel, buffer_bytes, line_size=BENCH_CACHE.line_size)
-        program = compile_source(source, line_size=BENCH_CACHE.line_size)
+        program = engine.compile(
+            AnalysisRequest.speculative(source, line_size=BENCH_CACHE.line_size)
+        )
         rows.append(
             compare_leaks(
                 program,
@@ -42,6 +50,7 @@ def main(argv: list[str]) -> None:
                 speculation=BENCH_SPECULATION,
                 buffer_bytes=buffer_bytes,
                 name=name,
+                engine=engine,
             )
         )
     print(format_leak_table(rows, title="Side-channel detection (Table 7 shape)"))
@@ -67,6 +76,8 @@ def main(argv: list[str]) -> None:
         base = "leak" if point.comparison.non_speculative.leak_detected else "  -  "
         marker = "  <-- analyses disagree" if point.distinguishes else ""
         print(f"  {point.buffer_bytes:6d} bytes:  {spec} / {base}{marker}")
+    print()
+    print(engine.stats)
 
 
 if __name__ == "__main__":

@@ -6,6 +6,12 @@ analyses and prints a Table-5-shaped comparison, plus the derived
 worst-case cycle estimates showing how much the non-speculative bound
 underestimates.
 
+All work is submitted through the process-wide analysis engine (the path
+the ``repro`` daemon serves): each kernel compiles once for both
+analysis flavours, and re-running the script inside one process would be
+answered entirely from the result cache.  ``repro wcet`` is the
+daemon-backed equivalent of this script.
+
 Run with::
 
     python examples/wcet_estimation.py [benchmark ...]
@@ -13,7 +19,7 @@ Run with::
 
 import sys
 
-from repro import compile_source
+from repro import AnalysisRequest, default_engine
 from repro.apps.report import format_comparison_table
 from repro.apps.wcet import compare_wcet
 from repro.bench.programs import WCET_BENCHMARKS, wcet_benchmark_source
@@ -26,12 +32,19 @@ def main(argv: list[str]) -> None:
     if unknown:
         raise SystemExit(f"unknown benchmarks {unknown}; available: {sorted(WCET_BENCHMARKS)}")
 
+    engine = default_engine()
     rows = []
     for name in names:
         source = wcet_benchmark_source(name, BENCH_CACHE.num_lines, BENCH_CACHE.line_size)
-        program = compile_source(source, line_size=BENCH_CACHE.line_size)
+        program = engine.compile(
+            AnalysisRequest.speculative(source, line_size=BENCH_CACHE.line_size)
+        )
         row = compare_wcet(
-            program, cache_config=BENCH_CACHE, speculation=BENCH_SPECULATION, name=name
+            program,
+            cache_config=BENCH_CACHE,
+            speculation=BENCH_SPECULATION,
+            name=name,
+            engine=engine,
         )
         rows.append(row)
 
@@ -46,6 +59,8 @@ def main(argv: list[str]) -> None:
             f"  {row.name:10s} non-speculative {row.non_speculative.estimated_cycles:7d}  "
             f"speculative {row.speculative.estimated_cycles:7d}  (+{gap}, {flag})"
         )
+    print()
+    print(engine.stats)
 
 
 if __name__ == "__main__":

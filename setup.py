@@ -9,9 +9,18 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
-    description="Abstract interpretation under speculative execution (PLDI 2019 reproduction)",
+    version="1.2.0",
+    description=(
+        "Abstract interpretation under speculative execution (PLDI 2019 "
+        "reproduction), served as a system: persistent result store, async "
+        "job scheduler, and the `repro` analysis daemon/CLI"
+    ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro = repro.service.cli:main",
+        ],
+    },
 )

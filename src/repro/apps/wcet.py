@@ -26,6 +26,19 @@ from repro.frontend import CompiledProgram
 from repro.speculation.config import SpeculationConfig
 
 
+def estimated_cycles(must_hits: int, misses: int, cache_config: CacheConfig) -> int:
+    """The per-site static cycle bound: every access proven a must hit
+    contributes the hit latency, every other site the miss penalty.
+
+    The single definition of the cycle model — shared by
+    :class:`WcetEstimate` and the ``repro wcet`` service client, so the
+    two can never diverge.
+    """
+    return (
+        must_hits * cache_config.hit_latency + misses * cache_config.miss_penalty
+    )
+
+
 @dataclass(frozen=True)
 class WcetEstimate:
     """Execution-time estimate derived from one analysis run."""
@@ -44,10 +57,7 @@ class WcetEstimate:
     def from_result(
         cls, name: str, result: CacheAnalysisResult, cache_config: CacheConfig
     ) -> "WcetEstimate":
-        cycles = (
-            result.hit_count * cache_config.hit_latency
-            + result.miss_count * cache_config.miss_penalty
-        )
+        cycles = estimated_cycles(result.hit_count, result.miss_count, cache_config)
         return cls(
             name=name,
             analysis_time=result.analysis_time,

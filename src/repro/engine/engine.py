@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field, replace
+from typing import Any
 
 from repro.engine.cache import CacheStats, LRUCache
 from repro.engine.request import AnalysisKind, AnalysisRequest
@@ -82,14 +83,20 @@ class EngineStats:
     requests: int = 0
     batches: int = 0
     parallel_batches: int = 0
+    #: Tier-2 (on-disk result store) statistics; None when no store is
+    #: attached.  Duck-typed so the engine stays below the service layer.
+    store: Any = None
 
     def __str__(self) -> str:
-        return (
+        lines = [
             f"engine: {self.requests} requests, {self.batches} batches "
-            f"({self.parallel_batches} parallel)\n"
-            f"  compile cache: {self.compile}\n"
-            f"  result cache:  {self.results}"
-        )
+            f"({self.parallel_batches} parallel)",
+            f"  compile cache: {self.compile}",
+            f"  result cache:  {self.results}",
+        ]
+        if self.store is not None:
+            lines.append(f"  result store:  {self.store}")
+        return "\n".join(lines)
 
 
 class AnalysisEngine:
@@ -99,9 +106,11 @@ class AnalysisEngine:
         self,
         compile_cache_size: int = DEFAULT_COMPILE_CACHE_SIZE,
         result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+        result_store: Any = None,
     ):
         self._compile_cache = LRUCache(maxsize=compile_cache_size)
         self._result_cache = LRUCache(maxsize=result_cache_size)
+        self._result_store = result_store
         self._requests = 0
         self._batches = 0
         self._parallel_batches = 0
@@ -129,12 +138,11 @@ class AnalysisEngine:
         computation, not the lookup).
         """
         self._requests += 1
-        key = request.result_key()
-        cached = self._result_cache.get(key)
+        cached = self._lookup_result(request)
         if cached is not None:
             return _copy_result(cached, from_cache=True)
         result = execute_request(request, program=program or self.compile(request))
-        self._result_cache.put(key, result)
+        self._store_result(request, result)
         return _copy_result(result)
 
     def seed_program(self, request: AnalysisRequest, program: CompiledProgram) -> None:
@@ -159,28 +167,75 @@ class AnalysisEngine:
     # ------------------------------------------------------------------
     @property
     def stats(self) -> EngineStats:
+        store = self._result_store
         return EngineStats(
             compile=self._compile_cache.stats.snapshot(),
             results=self._result_cache.stats.snapshot(),
             requests=self._requests,
             batches=self._batches,
             parallel_batches=self._parallel_batches,
+            store=store.stats.snapshot() if store is not None else None,
         )
 
     def clear_caches(self) -> None:
+        """Drop the in-memory tiers.  An attached result store is *not*
+        cleared — surviving process restarts is its entire purpose."""
         self._compile_cache.clear()
         self._result_cache.clear()
 
     # ------------------------------------------------------------------
+    # Second-tier (persistent) result store
+    # ------------------------------------------------------------------
+    @property
+    def result_store(self) -> Any:
+        return self._result_store
+
+    def attach_result_store(self, store: Any) -> None:
+        """Attach a persistent second cache tier behind the result LRU.
+
+        ``store`` is duck-typed (``get(key)`` / ``put(key, value)`` /
+        ``stats``) so the engine layer stays independent of
+        :mod:`repro.service`; in practice it is a
+        :class:`repro.service.store.ResultStore`.  Results found in the
+        store are promoted into the LRU; fresh results are written
+        through to both tiers.
+        """
+        self._result_store = store
+
+    # ------------------------------------------------------------------
     # Internal hooks used by the batch executor
     # ------------------------------------------------------------------
+    def _lookup_result(self, request: AnalysisRequest):
+        """Two-tier result lookup: the in-memory LRU first, then the
+        attached store (tier-2 hits are promoted into the LRU).  Returns
+        the cached instance, not a copy; None on miss in both tiers."""
+        key = request.result_key()
+        cached = self._result_cache.get(key)
+        if cached is not None:
+            return cached
+        if self._result_store is not None:
+            stored = self._result_store.get(key)
+            if stored is not None:
+                self._result_cache.put(key, stored)
+                return stored
+        return None
+
     def _cached_result(self, request: AnalysisRequest):
-        """Result-cache lookup (counts as a hit/miss); None on miss."""
-        cached = self._result_cache.get(request.result_key())
+        """Result lookup through both tiers (counts hits/misses); None on
+        miss."""
+        cached = self._lookup_result(request)
         return _copy_result(cached, from_cache=True) if cached is not None else None
 
     def _store_result(self, request: AnalysisRequest, result) -> None:
-        self._result_cache.put(request.result_key(), result)
+        key = request.result_key()
+        self._result_cache.put(key, result)
+        if self._result_store is not None:
+            try:
+                self._result_store.put(key, result)
+            except OSError:
+                # Tier 2 is best-effort: a full or read-only disk must
+                # not fail a request whose result is already in hand.
+                pass
 
     def _note_batch(self, parallel: bool, requests: int = 0) -> None:
         """``requests`` is passed by batch paths that bypass run() (which

@@ -1,0 +1,397 @@
+"""The ``repro`` command-line interface.
+
+Subcommands::
+
+    repro serve        run the analysis daemon (socket server + scheduler + store)
+    repro submit       analyse one MiniC source file (via the daemon, or --local)
+    repro wcet         Table-5-shaped WCET comparison for benchmark kernels
+    repro sidechannel  Table-7-shaped leak detection for crypto kernels
+    repro stats        engine / scheduler / store statistics of a running daemon
+
+``submit``, ``wcet`` and ``sidechannel`` are thin service clients: they
+build :class:`~repro.engine.request.AnalysisRequest` values locally and
+resolve them against a daemon (``--host``/``--port``), falling back to an
+in-process engine backed by the same on-disk store with ``--local`` — so
+warm results are shared between the daemon and one-shot CLI runs.
+
+``repro submit --verify`` additionally recomputes the request from
+scratch in-process and asserts the served result is semantically
+bit-identical (see :func:`repro.service.wire.result_fingerprint`); the CI
+smoke job leans on this.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+
+from repro.engine.engine import AnalysisEngine, execute_request
+from repro.engine.request import AnalysisKind, AnalysisRequest
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import DEFAULT_PORT, ReproServer
+from repro.service.store import ResultStore
+from repro.service.wire import result_fingerprint, result_to_wire
+
+#: Default on-disk store location for ``serve`` and ``--local`` runs.
+DEFAULT_STORE_DIR = ".repro-store"
+
+
+# ----------------------------------------------------------------------
+# Backends: a daemon connection or an in-process engine
+# ----------------------------------------------------------------------
+class _LocalBackend:
+    """In-process execution with the same two-tier caching as the daemon."""
+
+    def __init__(self, store_dir: str | None):
+        self.engine = AnalysisEngine(
+            result_store=ResultStore(store_dir) if store_dir else None
+        )
+
+    def analyze(self, request: AnalysisRequest) -> dict:
+        return result_to_wire(self.engine.run(request))
+
+    def close(self) -> None:
+        pass
+
+
+class _RemoteBackend:
+    def __init__(self, host: str, port: int):
+        self.client = ServiceClient(host=host, port=port)
+
+    def analyze(self, request: AnalysisRequest) -> dict:
+        return self.client.analyze(request)
+
+    def close(self) -> None:
+        self.client.close()
+
+
+def _backend(args: argparse.Namespace):
+    if getattr(args, "local", False):
+        return _LocalBackend(args.store_dir)
+    return _RemoteBackend(args.host, args.port)
+
+
+# ----------------------------------------------------------------------
+# repro serve
+# ----------------------------------------------------------------------
+def cmd_serve(args: argparse.Namespace) -> int:
+    server = ReproServer(
+        store_dir=None if args.no_store else args.store_dir,
+        host=args.host,
+        port=args.port,
+        max_workers=args.max_workers,
+        batch_size=args.batch_size,
+    )
+    signal.signal(signal.SIGTERM, lambda *_: server.stop())
+    store_note = "no store" if args.no_store else f"store at {args.store_dir}"
+    print(
+        f"repro daemon listening on {server.host}:{server.port} "
+        f"({args.max_workers} workers, {store_note})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    print("repro daemon stopped", flush=True)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro submit
+# ----------------------------------------------------------------------
+def _build_request(args: argparse.Namespace, source: str) -> AnalysisRequest:
+    from repro.cache.config import CacheConfig
+    from repro.speculation.config import SpeculationConfig
+
+    cache_config = None
+    if args.num_lines is not None:
+        cache_config = CacheConfig(num_lines=args.num_lines, line_size=args.line_size)
+    speculation = None
+    if args.depth_miss is not None:
+        depth_hit = args.depth_hit if args.depth_hit is not None else min(20, args.depth_miss)
+        speculation = SpeculationConfig.paper_default().with_depths(
+            args.depth_miss, depth_hit
+        )
+    return AnalysisRequest(
+        source=source,
+        kind=AnalysisKind(args.kind),
+        entry=args.entry,
+        line_size=args.line_size,
+        cache_config=cache_config,
+        speculation=speculation,
+        label=args.label,
+    )
+
+
+def _print_result(wire: dict, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(wire, indent=2, sort_keys=True))
+        return
+    name = wire["program_name"]
+    cached = " (cached)" if wire.get("from_cache") else ""
+    print(f"analysis of {name!r}{cached}")
+    print(
+        f"  accesses: {wire['access_sites']}  must-hit: {wire['must_hits']}  "
+        f"possible misses: {wire['misses']}"
+    )
+    if wire.get("speculation") is not None:
+        print(
+            f"  speculative misses: {wire['speculative_misses']}  "
+            f"speculative branches: {wire['speculative_branches']}"
+        )
+    verdict = "LEAK DETECTED" if wire["leak_detected"] else "no leak found"
+    print(f"  iterations: {wire['iterations']}  time: {wire['analysis_time']:.3f}s")
+    print(f"  side channel: {verdict}")
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    if args.source == "-":
+        source = sys.stdin.read()
+    else:
+        with open(args.source, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    request = _build_request(args, source)
+    backend = _backend(args)
+    try:
+        wire = backend.analyze(request)
+    finally:
+        backend.close()
+    _print_result(wire, args.json)
+    if args.verify:
+        direct = execute_request(request)
+        served, recomputed = result_fingerprint(wire), result_fingerprint(direct)
+        if served != recomputed:
+            print(
+                f"VERIFY FAILED: served fingerprint {served[:16]} != "
+                f"direct execution {recomputed[:16]}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"verified: served result identical to direct execution ({served[:16]})")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro wcet / repro sidechannel
+# ----------------------------------------------------------------------
+def _bench_requests(source: str, name: str):
+    """The baseline + speculative request pair every comparison needs."""
+    from repro.bench.tables import BENCH_CACHE, BENCH_SPECULATION
+
+    common = dict(
+        source=source,
+        line_size=BENCH_CACHE.line_size,
+        cache_config=BENCH_CACHE,
+        label=name,
+    )
+    return (
+        AnalysisRequest.baseline(**common),
+        AnalysisRequest.speculative(speculation=BENCH_SPECULATION, **common),
+    )
+
+
+def cmd_wcet(args: argparse.Namespace) -> int:
+    from repro.bench.programs import WCET_BENCHMARKS, wcet_benchmark_source
+    from repro.bench.tables import BENCH_CACHE
+
+    names = args.benchmarks or ["adpcm", "susan", "jcmarker", "g72", "vga"]
+    unknown = [name for name in names if name not in WCET_BENCHMARKS]
+    if unknown:
+        print(
+            f"unknown benchmarks {unknown}; available: {sorted(WCET_BENCHMARKS)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    backend = _backend(args)
+    rows = []
+    try:
+        for name in names:
+            source = wcet_benchmark_source(
+                name, BENCH_CACHE.num_lines, BENCH_CACHE.line_size
+            )
+            base_req, spec_req = _bench_requests(source, name)
+            rows.append((name, backend.analyze(base_req), backend.analyze(spec_req)))
+    finally:
+        backend.close()
+
+    from repro.apps.wcet import estimated_cycles
+
+    def cycles(wire: dict) -> int:
+        return estimated_cycles(wire["must_hits"], wire["misses"], BENCH_CACHE)
+
+    print(f"{'name':10s} {'#acc':>5s} {'base miss':>9s} {'spec miss':>9s} "
+          f"{'#SpMiss':>7s} {'base cyc':>9s} {'spec cyc':>9s}")
+    for name, base, spec in rows:
+        flag = "  UNDERESTIMATED" if cycles(spec) > cycles(base) else ""
+        print(
+            f"{name:10s} {base['access_sites']:5d} {base['misses']:9d} "
+            f"{spec['misses']:9d} {spec['speculative_misses']:7d} "
+            f"{cycles(base):9d} {cycles(spec):9d}{flag}"
+        )
+    return 0
+
+
+def cmd_sidechannel(args: argparse.Namespace) -> int:
+    from repro.bench.client import build_client_source
+    from repro.bench.crypto import CRYPTO_BENCHMARKS, crypto_kernel
+    from repro.bench.tables import BENCH_CACHE, TABLE7_BUFFER_BYTES
+
+    names = args.kernels or ["hash", "encoder", "des", "aes", "salsa"]
+    unknown = [name for name in names if name not in CRYPTO_BENCHMARKS]
+    if unknown:
+        print(
+            f"unknown kernels {unknown}; available: {sorted(CRYPTO_BENCHMARKS)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    backend = _backend(args)
+    rows = []
+    try:
+        for name in names:
+            kernel = crypto_kernel(name, BENCH_CACHE.num_lines, BENCH_CACHE.line_size)
+            buffer_bytes = TABLE7_BUFFER_BYTES.get(name, BENCH_CACHE.size_bytes)
+            source = build_client_source(
+                kernel, buffer_bytes, line_size=BENCH_CACHE.line_size
+            )
+            base_req, spec_req = _bench_requests(source, name)
+            rows.append(
+                (name, buffer_bytes, backend.analyze(base_req), backend.analyze(spec_req))
+            )
+    finally:
+        backend.close()
+
+    print(f"{'kernel':10s} {'buffer':>7s} {'base':>6s} {'spec':>6s}")
+    for name, buffer_bytes, base, spec in rows:
+        base_leak = "leak" if base["leak_detected"] else "-"
+        spec_leak = "leak" if spec["leak_detected"] else "-"
+        marker = "  <-- only under speculation" if (
+            spec["leak_detected"] and not base["leak_detected"]
+        ) else ""
+        print(f"{name:10s} {buffer_bytes:7d} {base_leak:>6s} {spec_leak:>6s}{marker}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro stats
+# ----------------------------------------------------------------------
+def cmd_stats(args: argparse.Namespace) -> int:
+    with ServiceClient(host=args.host, port=args.port) as client:
+        stats = client.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"requests: {stats['requests']}  batches: {stats['batches']} "
+          f"({stats['parallel_batches']} parallel)")
+    for tier in ("compile_cache", "result_cache", "result_store"):
+        counters = stats.get(tier)
+        if counters is None:
+            print(f"{tier:13s}: (not attached)")
+            continue
+        extras = ", ".join(
+            f"{key}={value}"
+            for key, value in counters.items()
+            if key not in ("hits", "misses")
+        )
+        print(f"{tier:13s}: {counters['hits']} hits / {counters['misses']} misses"
+              + (f" ({extras})" if extras else ""))
+    sched = stats["scheduler"]
+    print(
+        f"scheduler    : {sched['submitted']} submitted "
+        f"({sched['coalesced']} coalesced), {sched['completed']} completed, "
+        f"{sched['failed']} failed, {sched['queued']} queued, "
+        f"{sched['running']} running"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Argument parsing
+# ----------------------------------------------------------------------
+def _add_connection_args(parser: argparse.ArgumentParser, local_ok: bool = True) -> None:
+    parser.add_argument("--host", default="127.0.0.1", help="daemon host")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT, help="daemon port")
+    if local_ok:
+        parser.add_argument(
+            "--local",
+            action="store_true",
+            help="run in-process instead of connecting to a daemon",
+        )
+        parser.add_argument(
+            "--store-dir",
+            default=DEFAULT_STORE_DIR,
+            help="on-disk result store used with --local",
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Speculation-sound cache analysis as a service "
+        "(PLDI 2019 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the analysis daemon")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT)
+    serve.add_argument("--store-dir", default=DEFAULT_STORE_DIR)
+    serve.add_argument("--no-store", action="store_true",
+                       help="run without the on-disk result store")
+    serve.add_argument("--max-workers", type=int, default=2)
+    serve.add_argument("--batch-size", type=int, default=8)
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser("submit", help="analyse one MiniC source file")
+    submit.add_argument("source", help="path to a MiniC file, or '-' for stdin")
+    submit.add_argument("--kind", choices=[k.value for k in AnalysisKind],
+                        default=AnalysisKind.SPECULATIVE.value)
+    submit.add_argument("--entry", default=None)
+    submit.add_argument("--line-size", type=int, default=64)
+    submit.add_argument("--num-lines", type=int, default=None,
+                        help="cache lines (default: the paper's 512)")
+    submit.add_argument("--depth-miss", type=int, default=None,
+                        help="speculation depth bound bm")
+    submit.add_argument("--depth-hit", type=int, default=None,
+                        help="speculation depth bound bh")
+    submit.add_argument("--label", default=None)
+    submit.add_argument("--json", action="store_true", help="print the raw wire result")
+    submit.add_argument("--verify", action="store_true",
+                        help="recompute in-process and assert identical results")
+    _add_connection_args(submit)
+    submit.set_defaults(func=cmd_submit)
+
+    wcet = sub.add_parser("wcet", help="WCET comparison on benchmark kernels")
+    wcet.add_argument("benchmarks", nargs="*")
+    _add_connection_args(wcet)
+    wcet.set_defaults(func=cmd_wcet)
+
+    sidechannel = sub.add_parser("sidechannel",
+                                 help="leak detection on crypto kernels")
+    sidechannel.add_argument("kernels", nargs="*")
+    _add_connection_args(sidechannel)
+    sidechannel.set_defaults(func=cmd_sidechannel)
+
+    stats = sub.add_parser("stats", help="statistics of a running daemon")
+    stats.add_argument("--json", action="store_true")
+    _add_connection_args(stats, local_ok=False)
+    stats.set_defaults(func=cmd_stats)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ServiceError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

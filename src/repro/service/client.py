@@ -1,0 +1,144 @@
+"""Python client for the analysis daemon.
+
+A :class:`ServiceClient` holds one persistent connection to a
+:class:`~repro.service.server.ReproServer` and wraps each protocol op in
+a method.  The transport is one JSON object per line in each direction,
+so every method is a single ``sendall`` + ``readline`` round trip; the
+client is intentionally dependency-free (``socket`` + ``json``).
+
+Typical use::
+
+    with ServiceClient(port=7351) as client:
+        job_id = client.submit(AnalysisRequest.speculative(source))
+        report = client.result(job_id)          # blocks until done
+        print(report["must_hits"], report["misses"])
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+from repro.engine.request import AnalysisRequest
+from repro.service.server import DEFAULT_PORT, DEFAULT_RESULT_TIMEOUT
+from repro.service.wire import request_to_wire
+
+
+class ServiceError(RuntimeError):
+    """An error reported by the daemon (``"ok": false``) or a transport
+    failure."""
+
+
+class ServiceClient:
+    """One connection to a running analysis daemon."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float = DEFAULT_RESULT_TIMEOUT + 30.0,
+    ):
+        self.host = host
+        self.port = port
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as error:
+            raise ServiceError(
+                f"cannot reach analysis daemon at {host}:{port} "
+                f"({error}); start one with 'repro serve'"
+            ) from error
+        self._reader = self._sock.makefile("rb")
+        self._lock = threading.Lock()
+        self._broken = False
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def call(self, op: str, **fields) -> dict:
+        """One protocol round trip; returns the response payload or
+        raises :class:`ServiceError`."""
+        message = {"op": op, **fields}
+        with self._lock:
+            if self._broken:
+                raise ServiceError(
+                    "connection is desynchronized after an earlier transport "
+                    "error; open a new ServiceClient"
+                )
+            try:
+                self._sock.sendall(json.dumps(message).encode("utf-8") + b"\n")
+                line = self._reader.readline()
+            except OSError as error:
+                # A timed-out or interrupted round trip leaves a response
+                # in flight; any further use would read the wrong reply,
+                # so poison the connection instead.
+                self._broken = True
+                self.close()
+                raise ServiceError(f"connection to daemon lost: {error}") from error
+        if not line:
+            raise ServiceError("daemon closed the connection")
+        try:
+            response = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ServiceError(f"malformed response from daemon: {error}") from error
+        if not isinstance(response, dict) or not response.get("ok"):
+            detail = response.get("error") if isinstance(response, dict) else response
+            raise ServiceError(str(detail or "daemon reported an unknown error"))
+        return response
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Protocol ops
+    # ------------------------------------------------------------------
+    def ping(self) -> float:
+        return float(self.call("ping")["pong"])
+
+    def submit(self, request: AnalysisRequest, priority: str | None = None) -> str:
+        """Queue ``request``; returns the job id immediately."""
+        response = self.call(
+            "submit", request=request_to_wire(request), priority=priority
+        )
+        return response["job_id"]
+
+    def status(self, job_id: str) -> dict:
+        return self.call("status", job_id=job_id)["job"]
+
+    def result(self, job_id: str, timeout: float | None = None) -> dict:
+        """Block until ``job_id`` finishes; returns the wire-form result."""
+        return self.call("result", job_id=job_id, timeout=timeout)["result"]
+
+    def analyze(
+        self,
+        request: AnalysisRequest,
+        priority: str | None = None,
+        timeout: float | None = None,
+    ) -> dict:
+        """Submit + wait in one round trip; returns the wire-form result."""
+        response = self.call(
+            "analyze",
+            request=request_to_wire(request),
+            priority=priority,
+            timeout=timeout,
+        )
+        return response["result"]
+
+    def stats(self) -> dict:
+        return self.call("stats")["stats"]
+
+    def shutdown(self) -> None:
+        self.call("shutdown")

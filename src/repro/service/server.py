@@ -1,0 +1,226 @@
+"""The analysis daemon: a line-delimited-JSON socket server.
+
+One :class:`ReproServer` owns an :class:`~repro.engine.engine.AnalysisEngine`
+(optionally backed by an on-disk :class:`~repro.service.store.ResultStore`)
+and a :class:`~repro.service.scheduler.JobScheduler`, and exposes them
+over a TCP socket on localhost.  The protocol is deliberately minimal —
+one JSON object per line in each direction — so any language with a
+socket and a JSON parser is a client:
+
+======== ============================================= =========================
+op       request fields                                response fields
+======== ============================================= =========================
+ping     —                                             ``pong`` (server time)
+submit   ``request`` (wire form), ``priority``         ``job_id``, ``coalesced``
+status   ``job_id``                                    ``job`` (status dict)
+result   ``job_id``, ``timeout`` (seconds, optional)   ``job``, ``result``
+analyze  ``request``, ``priority``, ``timeout``        submit + wait in one call
+stats    —                                             engine/scheduler/store
+shutdown —                                             acknowledgement
+======== ============================================= =========================
+
+Every response carries ``"ok": true`` or ``"ok": false`` plus
+``"error"``; protocol errors never kill the connection, and a broken
+connection never kills the daemon.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+from repro.engine.engine import AnalysisEngine
+from repro.service.scheduler import JobScheduler, JobState
+from repro.service.store import ResultStore
+from repro.service.wire import (
+    WireError,
+    request_from_wire,
+    result_fingerprint,
+    result_to_wire,
+)
+
+#: Default TCP port of the daemon (an unassigned registered port).
+DEFAULT_PORT = 7351
+
+#: Default bound on how long a blocking ``result``/``analyze`` call may
+#: wait server-side before reporting a timeout to the client.
+DEFAULT_RESULT_TIMEOUT = 300.0
+
+
+class ReproServer:
+    """Serve analysis requests over a localhost socket."""
+
+    def __init__(
+        self,
+        engine: AnalysisEngine | None = None,
+        store_dir: str | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: int = 2,
+        batch_size: int = 8,
+    ):
+        self.engine = engine if engine is not None else AnalysisEngine()
+        if store_dir is not None and self.engine.result_store is None:
+            self.engine.attach_result_store(ResultStore(store_dir))
+        self.scheduler = JobScheduler(
+            self.engine, max_workers=max_workers, batch_size=batch_size
+        )
+        self._stopping = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._listener = socket.create_server((host, port), reuse_port=False)
+        self._listener.settimeout(0.2)
+        self.host, self.port = self._listener.getsockname()[:2]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def serve_forever(self) -> None:
+        """Accept connections until :meth:`stop` is called (one thread
+        per connection; analyses run on the scheduler's workers, so slow
+        clients never block the queue)."""
+        try:
+            while not self._stopping.is_set():
+                try:
+                    conn, _ = self._listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                # Daemon threads, deliberately not retained: a long-lived
+                # server handles unbounded short connections and must not
+                # accumulate dead Thread objects.
+                threading.Thread(
+                    target=self._serve_connection, args=(conn,), daemon=True
+                ).start()
+        finally:
+            self._listener.close()
+            self.scheduler.shutdown(wait=True, timeout=30.0)
+
+    def start(self) -> "ReproServer":
+        """Run :meth:`serve_forever` on a background thread (for tests
+        and embedding)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-server", daemon=True
+        )
+        thread.start()
+        self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        self._stopping.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            reader = conn.makefile("rb")
+            for line in reader:
+                line = line.strip()
+                if not line:
+                    continue
+                message: dict = {}
+                try:
+                    parsed = json.loads(line)
+                    if not isinstance(parsed, dict):
+                        raise WireError("protocol messages must be JSON objects")
+                    message = parsed
+                    response = self._dispatch(message)
+                except WireError as error:
+                    response = {"ok": False, "error": str(error)}
+                except json.JSONDecodeError as error:
+                    response = {"ok": False, "error": f"malformed JSON: {error}"}
+                except Exception as error:  # noqa: BLE001 — daemon must survive
+                    response = {"ok": False, "error": f"{type(error).__name__}: {error}"}
+                try:
+                    conn.sendall(json.dumps(response).encode("utf-8") + b"\n")
+                except OSError:
+                    return
+                if message.get("op") == "shutdown" and response.get("ok"):
+                    self.stop()
+                    return
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def _dispatch(self, message: dict) -> dict:
+        op = message.get("op")
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
+        if handler is None or not op or op.startswith("_"):
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        return handler(message)
+
+    def _op_ping(self, message: dict) -> dict:
+        return {"ok": True, "pong": time.time()}
+
+    def _op_submit(self, message: dict) -> dict:
+        request = request_from_wire(message.get("request") or {})
+        job = self.scheduler.submit(request, priority=message.get("priority"))
+        return {"ok": True, "job_id": job.id, "coalesced": job.coalesced}
+
+    def _op_status(self, message: dict) -> dict:
+        job = self.scheduler.job(str(message.get("job_id")))
+        if job is None:
+            return {"ok": False, "error": f"unknown job {message.get('job_id')!r}"}
+        return {"ok": True, "job": job.status()}
+
+    def _op_result(self, message: dict) -> dict:
+        job = self.scheduler.job(str(message.get("job_id")))
+        if job is None:
+            return {"ok": False, "error": f"unknown job {message.get('job_id')!r}"}
+        return self._await_result(job, message)
+
+    def _op_analyze(self, message: dict) -> dict:
+        """Submit + blocking result in one round trip."""
+        request = request_from_wire(message.get("request") or {})
+        job = self.scheduler.submit(request, priority=message.get("priority"))
+        response = self._await_result(job, message)
+        response.setdefault("job_id", job.id)
+        return response
+
+    def _await_result(self, job, message: dict) -> dict:
+        timeout = float(message.get("timeout") or DEFAULT_RESULT_TIMEOUT)
+        if not job.wait(timeout=timeout):
+            return {"ok": False, "error": f"job {job.id} still {job.state.value}",
+                    "job": job.status()}
+        if job.state is JobState.FAILED:
+            return {"ok": False, "error": job.status()["error"], "job": job.status()}
+        if job.state is JobState.CANCELLED:
+            return {"ok": False, "error": f"job {job.id} was cancelled",
+                    "job": job.status()}
+        result = job.result()
+        wire = result_to_wire(result)
+        return {
+            "ok": True,
+            "job": job.status(),
+            "result": wire,
+            "fingerprint": result_fingerprint(wire),
+        }
+
+    def _op_stats(self, message: dict) -> dict:
+        engine_stats = self.engine.stats
+        payload = {
+            "requests": engine_stats.requests,
+            "batches": engine_stats.batches,
+            "parallel_batches": engine_stats.parallel_batches,
+            "compile_cache": vars(engine_stats.compile),
+            "result_cache": vars(engine_stats.results),
+            "result_store": (
+                None if engine_stats.store is None else vars(engine_stats.store)
+            ),
+            "scheduler": vars(self.scheduler.stats),
+        }
+        return {"ok": True, "stats": payload}
+
+    def _op_shutdown(self, message: dict) -> dict:
+        return {"ok": True, "stopping": True}

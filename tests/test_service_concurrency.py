@@ -1,0 +1,168 @@
+"""Thread-safety hammer tests for the caching tiers.
+
+The service layer hits the in-memory :class:`LRUCache` and the on-disk
+:class:`ResultStore` from scheduler workers, connection threads and
+batch executors simultaneously; these tests lock in that neither tier
+corrupts state or miscounts under contention.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+from repro.engine.cache import LRUCache
+from repro.engine.engine import AnalysisEngine
+from repro.engine.request import AnalysisRequest
+from repro.service.store import ResultStore
+
+THREADS = 8
+OPS_PER_THREAD = 400
+
+
+def _run_threads(worker) -> list[Exception]:
+    errors: list[Exception] = []
+
+    def wrapped(i: int) -> None:
+        try:
+            worker(i)
+        except Exception as error:  # pragma: no cover - failure detail
+            errors.append(error)
+
+    threads = [threading.Thread(target=wrapped, args=(i,)) for i in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not any(thread.is_alive() for thread in threads), "hammer deadlocked"
+    return errors
+
+
+class TestLRUCacheUnderContention:
+    def test_mixed_get_put_hammer(self):
+        cache = LRUCache(maxsize=32)
+        keyspace = 96  # 3x maxsize: constant eviction pressure
+
+        def worker(seed: int) -> None:
+            for i in range(OPS_PER_THREAD):
+                key = (seed * 31 + i * 7) % keyspace
+                if i % 3 == 0:
+                    cache.put(key, (key, seed))
+                else:
+                    value = cache.get(key)
+                    if value is not None:
+                        assert value[0] == key, "value attached to wrong key"
+
+        assert _run_threads(worker) == []
+        assert len(cache) <= 32
+        gets = THREADS * OPS_PER_THREAD - THREADS * len(
+            range(0, OPS_PER_THREAD, 3)
+        )
+        assert cache.stats.lookups == gets, "every get must be counted exactly once"
+
+    def test_eviction_accounting_balances(self):
+        cache = LRUCache(maxsize=16)
+        computes = [0] * THREADS
+
+        def worker(seed: int) -> None:
+            for i in range(OPS_PER_THREAD):
+                key = (seed + i) % 64
+
+                def compute(key=key, seed=seed):
+                    computes[seed] += 1
+                    return (key, "computed")
+
+                value = cache.get_or_compute(key, compute)
+                assert value[0] == key
+
+        assert _run_threads(worker) == []
+        stats = cache.stats
+        # Every miss triggered exactly one compute (and vice versa), and
+        # every resident or evicted entry came from one of those puts.
+        assert stats.misses == sum(computes)
+        assert len(cache) + stats.evictions <= stats.misses
+        assert stats.hits + stats.misses == THREADS * OPS_PER_THREAD
+        assert len(cache) <= 16
+
+    def test_clear_during_traffic_is_safe(self):
+        cache = LRUCache(maxsize=64)
+        stop = threading.Event()
+
+        def mutator(seed: int) -> None:
+            if seed == 0:
+                while not stop.is_set():
+                    cache.clear()
+            else:
+                for i in range(OPS_PER_THREAD):
+                    cache.put((seed, i % 50), i)
+                    cache.get((seed, (i + 1) % 50))
+                stop.set()
+
+        assert _run_threads(mutator) == []
+        assert len(cache) <= 64
+
+
+class TestResultStoreUnderContention:
+    def _key(self, n: int) -> str:
+        return hashlib.sha256(f"key-{n}".encode()).hexdigest()
+
+    def test_disjoint_writers_and_readers(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        keyspace = 48
+
+        def worker(seed: int) -> None:
+            for i in range(80):
+                n = (seed * 13 + i) % keyspace
+                key = self._key(n)
+                store.put(key, {"n": n, "writer": seed})
+                value = store.get(key)
+                # Another thread may have republished the key, but any
+                # observed value must be complete and self-consistent.
+                assert value is not None and value["n"] == n
+
+        assert _run_threads(worker) == []
+        assert store.stats.corrupt_evicted == 0, "atomic writes must never tear"
+        assert len(store) == keyspace
+        for n in range(keyspace):
+            assert store.get(self._key(n))["n"] == n
+
+    def test_single_key_write_race_stays_atomic(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = self._key(0)
+        payload = {"blob": "x" * 4096}
+
+        def worker(seed: int) -> None:
+            for _ in range(60):
+                store.put(key, dict(payload, writer=seed))
+                value = store.get(key)
+                assert value is not None and value["blob"] == payload["blob"]
+
+        assert _run_threads(worker) == []
+        assert store.stats.corrupt_evicted == 0
+        assert len(store) == 1
+
+    def test_engine_with_store_under_concurrent_clients(self, tmp_path):
+        """Many threads resolving overlapping requests through one
+        engine + store never disagree on verdicts."""
+        from repro.service.wire import result_fingerprint
+
+        engine = AnalysisEngine(result_store=ResultStore(tmp_path / "store"))
+        sources = [
+            f"char a{i}[{64 * (i + 1)}]; int main() {{ a{i}[0]; a{i}[1]; return 0; }}"
+            for i in range(4)
+        ]
+        fingerprints: dict[int, set] = {i: set() for i in range(4)}
+        lock = threading.Lock()
+
+        def worker(seed: int) -> None:
+            for i in range(6):
+                which = (seed + i) % 4
+                result = engine.run(AnalysisRequest.speculative(sources[which]))
+                with lock:
+                    fingerprints[which].add(result_fingerprint(result))
+
+        assert _run_threads(worker) == []
+        assert all(len(prints) == 1 for prints in fingerprints.values())
+        stats = engine.stats
+        assert stats.store.corrupt_evicted == 0
+        assert stats.results.hits + stats.store.hits > 0, "repeat traffic must hit a tier"

@@ -1,0 +1,243 @@
+"""The on-disk result store: robustness, layout, and the engine's
+second cache tier."""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+
+import pytest
+
+from repro.engine.engine import AnalysisEngine, execute_request
+from repro.engine.request import AnalysisRequest
+from repro.service.store import STORE_FORMAT_VERSION, ResultStore, StoreError
+from repro.service.wire import result_fingerprint
+
+SOURCE = "char a[64]; int p; int main() { if (p > 0) { a[0]; } a[0]; return 0; }"
+
+
+def key_of(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+@pytest.fixture
+def store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "store")
+
+
+# ----------------------------------------------------------------------
+# Basic behaviour and layout
+# ----------------------------------------------------------------------
+class TestStoreBasics:
+    def test_roundtrip(self, store):
+        key = key_of("one")
+        store.put(key, {"answer": 42})
+        assert store.get(key) == {"answer": 42}
+        assert store.stats.hits == 1 and store.stats.writes == 1
+
+    def test_miss_returns_default(self, store):
+        assert store.get(key_of("absent"), default="nope") == "nope"
+        assert store.stats.misses == 1
+
+    def test_sharded_layout(self, store):
+        key = key_of("sharded")
+        store.put(key, 1)
+        path = store.path_for(key)
+        assert path.parent.name == key[:2]
+        assert path.name == f"{key}.res"
+        assert path.exists()
+
+    def test_rejects_non_hex_keys(self, store):
+        with pytest.raises(StoreError):
+            store.put("../../../etc/passwd", 1)
+        with pytest.raises(StoreError):
+            store.get("ZZ" * 32)
+
+    def test_contains_len_keys_clear(self, store):
+        keys = sorted(key_of(str(i)) for i in range(5))
+        for i, key in enumerate(keys):
+            store.put(key, i)
+        assert all(key in store for key in keys)
+        assert len(store) == 5
+        assert sorted(store.keys()) == keys
+        assert store.size_bytes() > 0
+        assert store.clear() == 5
+        assert len(store) == 0
+
+    def test_overwrite_same_key(self, store):
+        key = key_of("dup")
+        store.put(key, "first")
+        store.put(key, "second")
+        assert store.get(key) == "second"
+        assert len(store) == 1
+
+    def test_no_temp_files_left_behind(self, store):
+        for i in range(10):
+            store.put(key_of(str(i)), list(range(100)))
+        leftovers = [p for p in store.root.rglob("*.tmp")]
+        assert leftovers == []
+
+
+# ----------------------------------------------------------------------
+# Robustness: corruption, truncation, versioning
+# ----------------------------------------------------------------------
+class TestStoreRobustness:
+    def test_truncated_entry_is_evicted_and_recomputed(self, store):
+        key = key_of("trunc")
+        store.put(key, {"payload": "x" * 500})
+        path = store.path_for(key)
+        path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+        assert store.get(key) is None
+        assert not path.exists(), "corrupt entry must be deleted"
+        assert store.stats.corrupt_evicted == 1
+        # A rewrite fully heals the slot.
+        store.put(key, "fresh")
+        assert store.get(key) == "fresh"
+
+    def test_garbage_entry_is_evicted(self, store):
+        key = key_of("garbage")
+        path = store.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"\x00\xffnot a store entry at all")
+        assert store.get(key) is None
+        assert store.stats.corrupt_evicted == 1
+        assert not path.exists()
+
+    def test_checksum_mismatch_is_evicted(self, store):
+        key = key_of("bitflip")
+        store.put(key, {"v": 1})
+        path = store.path_for(key)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert store.get(key) is None
+        assert store.stats.corrupt_evicted == 1
+
+    def test_unpicklable_payload_with_valid_checksum_is_evicted(self, store):
+        key = key_of("badpickle")
+        payload = b"this is not a pickle"
+        blob = store._header(hashlib.sha256(payload).hexdigest()) + payload
+        path = store.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(blob)
+        assert store.get(key) is None
+        assert store.stats.corrupt_evicted == 1
+
+    def test_version_bump_invalidates_old_entries(self, tmp_path):
+        old = ResultStore(tmp_path / "s", version=STORE_FORMAT_VERSION)
+        key = key_of("versioned")
+        old.put(key, "v1 payload")
+        new = ResultStore(tmp_path / "s", version=STORE_FORMAT_VERSION + 1)
+        assert new.get(key) is None
+        assert new.stats.version_evicted == 1
+        assert not new.path_for(key).exists(), "stale-format entry must be evicted"
+        # The new version reclaims the slot with its own format.
+        new.put(key, "v2 payload")
+        assert new.get(key) == "v2 payload"
+
+    def test_eviction_counts_as_miss(self, store):
+        key = key_of("misscount")
+        path = store.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"junk")
+        store.get(key)
+        assert store.stats.misses == 1 and store.stats.hits == 0
+
+    def test_entries_survive_reopen(self, tmp_path):
+        first = ResultStore(tmp_path / "s")
+        key = key_of("durable")
+        first.put(key, [1, 2, 3])
+        second = ResultStore(tmp_path / "s")
+        assert second.get(key) == [1, 2, 3]
+
+
+# ----------------------------------------------------------------------
+# The engine's second tier
+# ----------------------------------------------------------------------
+class TestEngineSecondTier:
+    def test_fresh_result_written_through(self, store):
+        engine = AnalysisEngine(result_store=store)
+        request = AnalysisRequest.speculative(SOURCE)
+        engine.run(request)
+        assert store.stats.writes == 1
+        assert request.result_key() in store
+
+    def test_restarted_engine_serves_from_store(self, tmp_path):
+        request = AnalysisRequest.speculative(SOURCE)
+        first = AnalysisEngine(result_store=ResultStore(tmp_path / "s"))
+        original = first.run(request)
+
+        # A brand-new engine (fresh process simulation: empty LRUs) over
+        # the same directory answers without compiling or re-analysing.
+        second = AnalysisEngine(result_store=ResultStore(tmp_path / "s"))
+        replay = second.run(request)
+        assert replay.from_cache
+        assert result_fingerprint(replay) == result_fingerprint(original)
+        stats = second.stats
+        assert stats.store.hits == 1
+        assert stats.compile.lookups == 0, "store hit must skip the front end"
+
+    def test_tier1_vs_tier2_hit_accounting(self, store):
+        engine = AnalysisEngine(result_store=store)
+        request = AnalysisRequest.baseline(SOURCE)
+        engine.run(request)  # miss in both tiers, computed
+        engine.run(request)  # tier-1 hit
+        stats = engine.stats
+        assert stats.results.hits == 1
+        assert stats.store.lookups == 1 and stats.store.misses == 1
+
+        cold = AnalysisEngine(result_store=store)
+        cold.run(request)  # tier-1 miss, tier-2 hit
+        cold.run(request)  # tier-1 hit (promoted)
+        stats = cold.stats
+        assert stats.results.misses == 1 and stats.results.hits == 1
+        assert stats.store.hits == 1
+
+    def test_store_hit_promoted_to_lru(self, tmp_path):
+        request = AnalysisRequest.baseline(SOURCE)
+        AnalysisEngine(result_store=ResultStore(tmp_path / "s")).run(request)
+        engine = AnalysisEngine(result_store=ResultStore(tmp_path / "s"))
+        engine.run(request)
+        engine.run(request)
+        assert engine.stats.store.lookups == 1, "second lookup must stay in tier 1"
+
+    def test_batch_path_writes_through(self, store):
+        engine = AnalysisEngine(result_store=store)
+        requests = [
+            AnalysisRequest.baseline(SOURCE),
+            AnalysisRequest.speculative(SOURCE),
+        ]
+        engine.run_batch(requests)
+        assert store.stats.writes == 2
+        warm = AnalysisEngine(result_store=store)
+        results = warm.run_batch(requests)
+        assert all(result.from_cache for result in results)
+
+    def test_corrupt_store_entry_recomputed_transparently(self, tmp_path):
+        request = AnalysisRequest.speculative(SOURCE)
+        store = ResultStore(tmp_path / "s")
+        AnalysisEngine(result_store=store).run(request)
+        path = store.path_for(request.result_key())
+        path.write_bytes(b"corrupted beyond recognition")
+
+        engine = AnalysisEngine(result_store=ResultStore(tmp_path / "s"))
+        result = engine.run(request)
+        assert not result.from_cache, "corrupt entry must be recomputed"
+        assert result_fingerprint(result) == result_fingerprint(execute_request(request))
+        # The recomputation healed the entry on disk.
+        reread = ResultStore(tmp_path / "s").get(request.result_key())
+        assert reread is not None
+
+    def test_detached_engine_unaffected(self):
+        engine = AnalysisEngine()
+        result = engine.run(AnalysisRequest.baseline(SOURCE))
+        assert engine.stats.store is None
+        assert not result.from_cache
+
+    def test_stored_payload_is_picklable_result(self, store):
+        request = AnalysisRequest.speculative(SOURCE)
+        AnalysisEngine(result_store=store).run(request)
+        raw = store.path_for(request.result_key()).read_bytes()
+        payload = raw.split(b"\n", 2)[2]
+        restored = pickle.loads(payload)
+        assert result_fingerprint(restored) == result_fingerprint(execute_request(request))
