@@ -104,6 +104,12 @@ class CacheAnalysisResult:
         return [c for c in self.normal_classifications() if c.secret_dependent]
 
     @property
+    def leak_site_count(self) -> int:
+        """Number of secret-dependent access sites (what the mitigation
+        synthesiser drives to zero)."""
+        return len(self.secret_dependent_classifications())
+
+    @property
     def leak_detected(self) -> bool:
         """True when at least one secret-indexed access has a cache outcome
         that depends on the secret value."""

@@ -18,6 +18,22 @@ def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
     return "  ".join(str(cell).ljust(width) for cell, width in zip(cells, widths))
 
 
+def _render_table(title: str, table_rows: list[list[str]]) -> str:
+    """Shared table epilogue: size columns, emit title/header/rule/rows.
+
+    ``table_rows[0]`` is the header; every row must have the same arity.
+    """
+    header = table_rows[0]
+    widths = [max(len(row[i]) for row in table_rows) for i in range(len(header))]
+    lines = [
+        title,
+        _format_row(header, widths),
+        "-" * (sum(widths) + 2 * (len(widths) - 1)),
+    ]
+    lines.extend(_format_row(row, widths) for row in table_rows[1:])
+    return "\n".join(lines)
+
+
 def format_comparison_table(rows: Sequence[WcetComparison], title: str = "Table 5") -> str:
     """Render Table-5-style rows (execution-time estimation)."""
     header = [
@@ -44,10 +60,7 @@ def format_comparison_table(rows: Sequence[WcetComparison], title: str = "Table 
                 str(row.speculative.iterations),
             ]
         )
-    widths = [max(len(row[i]) for row in table_rows) for i in range(len(header))]
-    lines = [title, _format_row(header, widths), "-" * (sum(widths) + 2 * (len(widths) - 1))]
-    lines.extend(_format_row(row, widths) for row in table_rows[1:])
-    return "\n".join(lines)
+    return _render_table(title, table_rows)
 
 
 def format_merge_table(
@@ -84,10 +97,7 @@ def format_merge_table(
                 str(jit.speculative.iterations),
             ]
         )
-    widths = [max(len(row[i]) for row in table_rows) for i in range(len(header))]
-    lines = [title, _format_row(header, widths), "-" * (sum(widths) + 2 * (len(widths) - 1))]
-    lines.extend(_format_row(row, widths) for row in table_rows[1:])
-    return "\n".join(lines)
+    return _render_table(title, table_rows)
 
 
 def format_leak_table(rows: Sequence[LeakComparison], title: str = "Table 7") -> str:
@@ -112,7 +122,42 @@ def format_leak_table(rows: Sequence[LeakComparison], title: str = "Table 7") ->
                 "Yes" if row.speculative.leak_detected else "No",
             ]
         )
-    widths = [max(len(row[i]) for row in table_rows) for i in range(len(header))]
-    lines = [title, _format_row(header, widths), "-" * (sum(widths) + 2 * (len(widths) - 1))]
-    lines.extend(_format_row(row, widths) for row in table_rows[1:])
-    return "\n".join(lines)
+    return _render_table(title, table_rows)
+
+
+def format_mitigation_table(results: Sequence, title: str = "Mitigation synthesis") -> str:
+    """Render mitigation-synthesis rows (naive vs optimized placement).
+
+    ``results`` are :class:`repro.mitigation.MitigationResult` values
+    (typed loosely so this formatting module stays below the mitigation
+    package in the import order).
+    """
+    header = [
+        "Name",
+        "#Leak",
+        "Naive-Fences",
+        "Naive-Ovh(cyc)",
+        "Opt-Fences",
+        "Opt-Ovh(cyc)",
+        "Chosen",
+        "Verified",
+    ]
+    table_rows = [header]
+    for result in results:
+        baseline, optimized = result.baseline, result.optimized
+        selected = result.selected()
+        table_rows.append(
+            [
+                result.name,
+                str(result.leak_sites_before),
+                "-" if baseline is None else str(baseline.source_fences),
+                "-" if baseline is None else str(baseline.wcet_overhead_cycles),
+                "-" if optimized is None else str(optimized.source_fences),
+                "-" if optimized is None else str(optimized.wcet_overhead_cycles),
+                result.chosen,
+                "yes" if selected is not None and selected.verified else (
+                    "n/a" if result.already_safe else "NO"
+                ),
+            ]
+        )
+    return _render_table(title, table_rows)

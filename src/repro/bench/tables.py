@@ -61,6 +61,26 @@ TABLE7_BUFFER_BYTES: dict[str, int] = {
 }
 
 
+def table7_client_request(name: str) -> AnalysisRequest:
+    """The speculative request for one crypto kernel's Figure-10 client
+    harness at the Table-7 configuration.
+
+    One definition shared by the ``repro mitigate`` CLI, the mitigation
+    example and ``benchmarks/bench_mitigation.py``, so all three analyse
+    the identical program (and hash to the same cache keys).
+    """
+    kernel = crypto_kernel(name, BENCH_CACHE.num_lines, BENCH_CACHE.line_size)
+    buffer_bytes = TABLE7_BUFFER_BYTES.get(name, BENCH_CACHE.size_bytes)
+    source = build_client_source(kernel, buffer_bytes, line_size=BENCH_CACHE.line_size)
+    return AnalysisRequest.speculative(
+        source,
+        line_size=BENCH_CACHE.line_size,
+        cache_config=BENCH_CACHE,
+        speculation=BENCH_SPECULATION,
+        label=name,
+    )
+
+
 # ----------------------------------------------------------------------
 # E1: the motivating example (Figures 2 and 3)
 # ----------------------------------------------------------------------

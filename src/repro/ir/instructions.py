@@ -181,6 +181,21 @@ class Copy(Instruction):
 
 
 @dataclass
+class Fence(Instruction):
+    """A speculation barrier.
+
+    Architecturally a no-op: it reads and writes nothing and touches no
+    memory.  Its only semantics are microarchitectural — instructions
+    after a fence never execute speculatively, so a speculative window
+    (and a concrete mispredicted excursion) is truncated at the fence.
+    The mitigation subsystem inserts these to close detected leaks.
+    """
+
+    def __str__(self) -> str:
+        return "fence"
+
+
+@dataclass
 class CallInstr(Instruction):
     """A function call.
 

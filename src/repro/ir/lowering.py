@@ -24,6 +24,7 @@ from repro.ir.instructions import (
     CondBranch,
     Const,
     Copy,
+    Fence,
     Jump,
     Load,
     MemoryRef,
@@ -194,6 +195,8 @@ class FunctionLowerer:
             self._lower_while(stmt)
         elif isinstance(stmt, ast.For):
             self._lower_for(stmt)
+        elif isinstance(stmt, ast.Fence):
+            self._current.append(Fence(line=stmt.line))
         elif isinstance(stmt, ast.Return):
             self._lower_return(stmt)
         elif isinstance(stmt, ast.Break):

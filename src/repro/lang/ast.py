@@ -183,6 +183,16 @@ class Break(Stmt):
 
 
 @dataclass
+class Fence(Stmt):
+    """A speculation barrier statement (``fence;``).
+
+    Lowered to the IR :class:`~repro.ir.instructions.Fence` instruction;
+    architecturally a no-op, but it stops speculative execution, which is
+    how synthesised mitigations close speculative leaks.
+    """
+
+
+@dataclass
 class Continue(Stmt):
     pass
 

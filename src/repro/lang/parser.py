@@ -21,6 +21,7 @@ from repro.lang.ast import (
     Continue,
     Expr,
     ExprStatement,
+    Fence,
     For,
     FunctionDef,
     Identifier,
@@ -281,6 +282,13 @@ class Parser:
             self._advance()
             self._expect(TokenType.SEMICOLON, "';'")
             return [Continue(line=token.line, column=token.column)]
+        if token.type is TokenType.KW_FENCE:
+            self._advance()
+            # Tolerate the intrinsic-call spelling ``lfence();``.
+            if self._match(TokenType.LPAREN):
+                self._expect(TokenType.RPAREN, "')'")
+            self._expect(TokenType.SEMICOLON, "';'")
+            return [Fence(line=token.line, column=token.column)]
         if token.type is TokenType.SEMICOLON:
             self._advance()
             return []

@@ -25,6 +25,7 @@ class TokenType(Enum):
     KW_RETURN = auto()
     KW_BREAK = auto()
     KW_CONTINUE = auto()
+    KW_FENCE = auto()
     KW_REG = auto()
     KW_SECRET = auto()
     KW_CONST = auto()
@@ -83,6 +84,9 @@ KEYWORDS: dict[str, TokenType] = {
     "return": TokenType.KW_RETURN,
     "break": TokenType.KW_BREAK,
     "continue": TokenType.KW_CONTINUE,
+    "fence": TokenType.KW_FENCE,
+    # The x86 spelling, so kernels hardened with real intrinsics parse.
+    "lfence": TokenType.KW_FENCE,
     "reg": TokenType.KW_REG,
     "register": TokenType.KW_REG,
     "secret": TokenType.KW_SECRET,

@@ -1,0 +1,58 @@
+"""Countermeasure synthesis: automatic speculation-fence placement.
+
+This package closes the detect → repair → re-verify loop on top of the
+side-channel application: given a program whose speculative analysis
+reports secret-dependent access sites (:class:`~repro.apps.sidechannel.
+LeakSite`), it synthesises a set of ``fence;`` insertions whose patched
+program *provably* — by re-running the analysis through the
+:class:`~repro.engine.engine.AnalysisEngine` — reports zero leak sites.
+
+Layers:
+
+* :mod:`repro.mitigation.patch` — source-level fence points and AST
+  patching / re-emission;
+* :mod:`repro.mitigation.placement` — candidate generation: the
+  fence-every-branch baseline, the speculative branches that survive
+  compilation, and dominator-guided hoist points that cover several
+  speculation windows with one fence;
+* :mod:`repro.mitigation.synthesis` — the greedy minimiser plus the
+  verification loop and the :class:`MitigationResult` report.
+"""
+
+from repro.mitigation.patch import (
+    FencePoint,
+    apply_fence_points,
+    count_fence_statements,
+    enumerate_fence_points,
+    patched_source,
+)
+from repro.mitigation.placement import (
+    FENCE_LATENCY_CYCLES,
+    count_ir_fences,
+    hoist_points,
+    surviving_branch_points,
+)
+from repro.mitigation.synthesis import (
+    MitigationError,
+    MitigationResult,
+    PlacementOutcome,
+    mitigation_key,
+    synthesize_mitigation,
+)
+
+__all__ = [
+    "FENCE_LATENCY_CYCLES",
+    "FencePoint",
+    "MitigationError",
+    "MitigationResult",
+    "PlacementOutcome",
+    "apply_fence_points",
+    "count_fence_statements",
+    "count_ir_fences",
+    "enumerate_fence_points",
+    "hoist_points",
+    "mitigation_key",
+    "patched_source",
+    "surviving_branch_points",
+    "synthesize_mitigation",
+]

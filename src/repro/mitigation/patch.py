@@ -1,0 +1,170 @@
+"""Source-level fence points and AST patching.
+
+A :class:`FencePoint` names one place in the *source* where a ``fence;``
+statement can be inserted, identified by the line of an existing
+statement (lines survive unrolling, inlining and lowering, so IR-level
+facts — scenario windows, leak sites — map back to source points).
+
+Three kinds of point exist:
+
+``taken``
+    First statement of the true side of the conditional at ``line`` (an
+    ``if``'s then-branch, a loop's body).  Kills every speculation
+    scenario that mispredicts the branch as taken.
+``fallthrough``
+    First statement of the false side: an ``if``'s else-branch, or —
+    when there is none, and for loops — immediately after the construct
+    (the start of the branch's false target / the loop's exit).  Kills
+    every mispredicted-not-taken scenario.
+``before``
+    Immediately before the first statement carrying ``line``.  Used for
+    dominator-guided hoisting: a single fence inside a block shared by
+    several speculation windows truncates all of them at once.
+
+Patching is pure: :func:`apply_fence_points` deep-copies the AST, and
+:func:`patched_source` re-emits compilable MiniC via
+:func:`repro.ir.printer.program_to_source`, which is what the engine
+re-analyses.  Inserted fences carry line 0, so they can never satisfy a
+later point lookup themselves.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.ir.printer import program_to_source
+from repro.lang import ast
+
+_POINT_KINDS = ("taken", "fallthrough", "before")
+
+
+@dataclass(frozen=True, order=True)
+class FencePoint:
+    """One source-level fence insertion point."""
+
+    kind: str
+    line: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in _POINT_KINDS:
+            raise ValueError(f"unknown fence point kind {self.kind!r}")
+
+    def describe(self) -> str:
+        if self.kind == "taken":
+            return f"taken side of the branch at line {self.line}"
+        if self.kind == "fallthrough":
+            return f"fall-through side of the branch at line {self.line}"
+        return f"before the statement at line {self.line}"
+
+
+def _is_branching(stmt: ast.Stmt) -> bool:
+    """Statements that lower to a conditional branch (speculation sources)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return True
+    return isinstance(stmt, ast.For) and stmt.cond is not None
+
+
+def enumerate_fence_points(program: ast.Program) -> list[FencePoint]:
+    """Every branch-arm point of every conditional construct, in source
+    order — the fence-every-branch baseline's placement."""
+    points: list[FencePoint] = []
+    seen: set[FencePoint] = set()
+    for function in program.functions:
+        for stmt in ast.walk_statements(function.body):
+            if not _is_branching(stmt):
+                continue
+            for kind in ("taken", "fallthrough"):
+                point = FencePoint(kind, stmt.line)
+                if point not in seen:
+                    seen.add(point)
+                    points.append(point)
+    return points
+
+
+def count_fence_statements(program: ast.Program) -> int:
+    """Number of ``fence;`` statements in the translation unit."""
+    return sum(
+        1
+        for function in program.functions
+        for stmt in ast.walk_statements(function.body)
+        if isinstance(stmt, ast.Fence)
+    )
+
+
+def _fence() -> ast.Fence:
+    return ast.Fence(line=0, column=0)
+
+
+def apply_fence_points(
+    program: ast.Program, points: Iterable[FencePoint]
+) -> ast.Program:
+    """Return a deep copy of ``program`` with fences inserted at ``points``.
+
+    ``taken``/``fallthrough`` points apply to *every* conditional at
+    their line (one source line holds at most one construct in practice);
+    a ``before`` point applies once, at the first statement in walk order
+    carrying its line.
+    """
+    patched = copy.deepcopy(program)
+    points = list(points)  # the Iterable is consumed three times below
+    taken_lines = {p.line for p in points if p.kind == "taken"}
+    fall_lines = {p.line for p in points if p.kind == "fallthrough"}
+    before_pending = {p.line for p in points if p.kind == "before"}
+    for function in patched.functions:
+        function.body = _rewrite_block(
+            function.body, taken_lines, fall_lines, before_pending
+        )
+    return patched
+
+
+def patched_source(program: ast.Program, points: Iterable[FencePoint]) -> str:
+    """Emit the MiniC source of ``program`` patched with ``points``."""
+    return program_to_source(apply_fence_points(program, points))
+
+
+def _rewrite_block(
+    block: ast.Block,
+    taken_lines: set[int],
+    fall_lines: set[int],
+    before_pending: set[int],
+) -> ast.Block:
+    statements: list[ast.Stmt] = []
+    for stmt in block.statements:
+        if stmt.line in before_pending and not isinstance(stmt, ast.Fence):
+            before_pending.discard(stmt.line)
+            statements.append(_fence())
+        fence_after = False
+        if isinstance(stmt, ast.Block):
+            stmt = _rewrite_block(stmt, taken_lines, fall_lines, before_pending)
+        elif isinstance(stmt, ast.If):
+            stmt.then_body = _rewrite_block(
+                stmt.then_body, taken_lines, fall_lines, before_pending
+            )
+            if stmt.else_body is not None:
+                stmt.else_body = _rewrite_block(
+                    stmt.else_body, taken_lines, fall_lines, before_pending
+                )
+            if stmt.line in taken_lines:
+                stmt.then_body.statements.insert(0, _fence())
+            if stmt.line in fall_lines:
+                if stmt.else_body is not None:
+                    stmt.else_body.statements.insert(0, _fence())
+                else:
+                    # The branch's false target is the code after the if.
+                    fence_after = True
+        elif isinstance(stmt, (ast.While, ast.For)):
+            stmt.body = _rewrite_block(
+                stmt.body, taken_lines, fall_lines, before_pending
+            )
+            if _is_branching(stmt):
+                if stmt.line in taken_lines:
+                    stmt.body.statements.insert(0, _fence())
+                if stmt.line in fall_lines:
+                    # The false target of the loop branch is the loop exit.
+                    fence_after = True
+        statements.append(stmt)
+        if fence_after:
+            statements.append(_fence())
+    return ast.Block(statements=statements, line=block.line, column=block.column)

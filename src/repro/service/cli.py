@@ -6,7 +6,11 @@ Subcommands::
     repro submit       analyse one MiniC source file (via the daemon, or --local)
     repro wcet         Table-5-shaped WCET comparison for benchmark kernels
     repro sidechannel  Table-7-shaped leak detection for crypto kernels
+    repro mitigate     synthesise verified fence placements that close leaks
     repro stats        engine / scheduler / store statistics of a running daemon
+
+``wcet``, ``sidechannel``, ``mitigate`` and ``stats`` accept ``--json``,
+printing machine-readable rows for CI and scripts.
 
 ``submit``, ``wcet`` and ``sidechannel`` are thin service clients: they
 build :class:`~repro.engine.request.AnalysisRequest` values locally and
@@ -52,6 +56,13 @@ class _LocalBackend:
     def analyze(self, request: AnalysisRequest) -> dict:
         return result_to_wire(self.engine.run(request))
 
+    def mitigate(self, request: AnalysisRequest, optimize: bool = True) -> dict:
+        from repro.mitigation import synthesize_mitigation
+
+        return synthesize_mitigation(
+            request, engine=self.engine, optimize=optimize
+        ).to_wire()
+
     def close(self) -> None:
         pass
 
@@ -62,6 +73,9 @@ class _RemoteBackend:
 
     def analyze(self, request: AnalysisRequest) -> dict:
         return self.client.analyze(request)
+
+    def mitigate(self, request: AnalysisRequest, optimize: bool = True) -> dict:
+        return self.client.mitigate(request, optimize=optimize)
 
     def close(self) -> None:
         self.client.close()
@@ -223,6 +237,23 @@ def cmd_wcet(args: argparse.Namespace) -> int:
     def cycles(wire: dict) -> int:
         return estimated_cycles(wire["must_hits"], wire["misses"], BENCH_CACHE)
 
+    if args.json:
+        payload = [
+            {
+                "name": name,
+                "access_sites": base["access_sites"],
+                "base_misses": base["misses"],
+                "spec_misses": spec["misses"],
+                "speculative_misses": spec["speculative_misses"],
+                "base_cycles": cycles(base),
+                "spec_cycles": cycles(spec),
+                "underestimated": cycles(spec) > cycles(base),
+            }
+            for name, base, spec in rows
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
     print(f"{'name':10s} {'#acc':>5s} {'base miss':>9s} {'spec miss':>9s} "
           f"{'#SpMiss':>7s} {'base cyc':>9s} {'spec cyc':>9s}")
     for name, base, spec in rows:
@@ -265,6 +296,34 @@ def cmd_sidechannel(args: argparse.Namespace) -> int:
     finally:
         backend.close()
 
+    def leak_sites(wire: dict) -> int:
+        # Committed (non-speculative) sites only — the same definition as
+        # CacheAnalysisResult.leak_site_count and the wire leak_detected
+        # flag; speculative window copies of a site are not extra leaks.
+        return sum(
+            1
+            for c in wire["classifications"]
+            if c["secret_dependent"] and not c["speculative"]
+        )
+
+    if args.json:
+        payload = [
+            {
+                "name": name,
+                "buffer_bytes": buffer_bytes,
+                "base_leak": base["leak_detected"],
+                "spec_leak": spec["leak_detected"],
+                "base_leak_sites": leak_sites(base),
+                "spec_leak_sites": leak_sites(spec),
+                "only_under_speculation": (
+                    spec["leak_detected"] and not base["leak_detected"]
+                ),
+            }
+            for name, buffer_bytes, base, spec in rows
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
     print(f"{'kernel':10s} {'buffer':>7s} {'base':>6s} {'spec':>6s}")
     for name, buffer_bytes, base, spec in rows:
         base_leak = "leak" if base["leak_detected"] else "-"
@@ -273,6 +332,88 @@ def cmd_sidechannel(args: argparse.Namespace) -> int:
             spec["leak_detected"] and not base["leak_detected"]
         ) else ""
         print(f"{name:10s} {buffer_bytes:7d} {base_leak:>6s} {spec_leak:>6s}{marker}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro mitigate
+# ----------------------------------------------------------------------
+def cmd_mitigate(args: argparse.Namespace) -> int:
+    from repro.bench.crypto import CRYPTO_BENCHMARKS
+    from repro.bench.tables import BENCH_CACHE, BENCH_SPECULATION, table7_client_request
+
+    requests: list[AnalysisRequest] = []
+    if args.source is not None:
+        if args.kernels:
+            print("pass either kernel names or --source, not both", file=sys.stderr)
+            return 2
+        with open(args.source, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        requests.append(
+            AnalysisRequest.speculative(
+                source,
+                line_size=BENCH_CACHE.line_size,
+                cache_config=BENCH_CACHE,
+                speculation=BENCH_SPECULATION,
+                label=args.source,
+            )
+        )
+    else:
+        names = args.kernels or sorted(CRYPTO_BENCHMARKS)
+        unknown = [name for name in names if name not in CRYPTO_BENCHMARKS]
+        if unknown:
+            print(
+                f"unknown kernels {unknown}; available: {sorted(CRYPTO_BENCHMARKS)}",
+                file=sys.stderr,
+            )
+            return 2
+        requests.extend(table7_client_request(name) for name in names)
+
+    backend = _backend(args)
+    mitigations: list[dict] = []
+    try:
+        for request in requests:
+            mitigations.append(
+                backend.mitigate(request, optimize=not args.no_optimize)
+            )
+    finally:
+        backend.close()
+
+    if args.emit_dir:
+        import os
+
+        os.makedirs(args.emit_dir, exist_ok=True)
+        for request, wire in zip(requests, mitigations):
+            chosen = wire.get(wire["chosen"]) if wire["chosen"] != "none" else None
+            if chosen is None:
+                continue
+            # The name is the label, which for --source is a user path:
+            # keep only its basename so output stays inside --emit-dir.
+            stem = os.path.basename(wire["name"]) or "program"
+            path = os.path.join(args.emit_dir, f"{stem}.mitigated.mc")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(chosen["patched_source"])
+
+    if args.json:
+        print(json.dumps(mitigations, indent=2, sort_keys=True))
+        return 0
+
+    print(f"{'kernel':10s} {'leaks':>5s} {'chosen':>9s} {'fences':>6s} "
+          f"{'baseline':>8s} {'overhead':>8s} {'verified':>8s}")
+    for wire in mitigations:
+        chosen = wire.get(wire["chosen"]) if wire["chosen"] != "none" else None
+        baseline = wire.get("baseline")
+        if chosen is None:
+            print(f"{wire['name']:10s} {wire['leak_sites_before']:5d} "
+                  f"{'-':>9s} {0:6d} {0:8d} {0:8d} {'safe':>8s}")
+            continue
+        print(
+            f"{wire['name']:10s} {wire['leak_sites_before']:5d} "
+            f"{wire['chosen']:>9s} {chosen['source_fences']:6d} "
+            f"{baseline['source_fences'] if baseline else 0:8d} "
+            f"{chosen['wcet_overhead_cycles']:8d} "
+            f"{'yes' if chosen['verified'] else 'NO':>8s}"
+        )
     return 0
 
 
@@ -367,14 +508,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     wcet = sub.add_parser("wcet", help="WCET comparison on benchmark kernels")
     wcet.add_argument("benchmarks", nargs="*")
+    wcet.add_argument("--json", action="store_true",
+                      help="print machine-readable rows")
     _add_connection_args(wcet)
     wcet.set_defaults(func=cmd_wcet)
 
     sidechannel = sub.add_parser("sidechannel",
                                  help="leak detection on crypto kernels")
     sidechannel.add_argument("kernels", nargs="*")
+    sidechannel.add_argument("--json", action="store_true",
+                             help="print machine-readable rows")
     _add_connection_args(sidechannel)
     sidechannel.set_defaults(func=cmd_sidechannel)
+
+    mitigate = sub.add_parser(
+        "mitigate",
+        help="synthesise verified fence placements that close detected leaks",
+    )
+    mitigate.add_argument("kernels", nargs="*",
+                          help="crypto kernels (default: all Table-7 kernels)")
+    mitigate.add_argument("--source", default=None,
+                          help="mitigate one MiniC file instead of kernels")
+    mitigate.add_argument("--no-optimize", action="store_true",
+                          help="evaluate only the fence-every-branch baseline")
+    mitigate.add_argument("--emit-dir", default=None,
+                          help="write each chosen patched source to this directory")
+    mitigate.add_argument("--json", action="store_true",
+                          help="print machine-readable results")
+    _add_connection_args(mitigate)
+    mitigate.set_defaults(func=cmd_mitigate)
 
     stats = sub.add_parser("stats", help="statistics of a running daemon")
     stats.add_argument("--json", action="store_true")
@@ -385,10 +547,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.mitigation import MitigationError
+
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except MitigationError as error:
+        print(f"repro: unmitigable: {error}", file=sys.stderr)
+        return 3
     except ServiceError as error:
+        if "MitigationError" in str(error):
+            # A daemon-side MitigationError arrives as a generic protocol
+            # error string; keep the exit-code contract identical to
+            # --local (3 = unmitigable).
+            print(f"repro: unmitigable: {error}", file=sys.stderr)
+            return 3
         print(f"repro: {error}", file=sys.stderr)
         return 1
 

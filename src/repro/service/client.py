@@ -137,6 +137,16 @@ class ServiceClient:
         )
         return response["result"]
 
+    def mitigate(self, request: AnalysisRequest, optimize: bool = True) -> dict:
+        """Synthesise a verified fence placement for ``request`` on the
+        daemon; returns the wire-form :class:`~repro.mitigation.
+        MitigationResult` (replayed from the daemon's caches when the
+        same program + configuration was mitigated before)."""
+        response = self.call(
+            "mitigate", request=request_to_wire(request), optimize=optimize
+        )
+        return response["mitigation"]
+
     def stats(self) -> dict:
         return self.call("stats")["stats"]
 

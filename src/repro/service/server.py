@@ -15,9 +15,16 @@ submit   ``request`` (wire form), ``priority``         ``job_id``, ``coalesced``
 status   ``job_id``                                    ``job`` (status dict)
 result   ``job_id``, ``timeout`` (seconds, optional)   ``job``, ``result``
 analyze  ``request``, ``priority``, ``timeout``        submit + wait in one call
+mitigate ``request``, ``optimize``                     ``mitigation`` (wire form)
 stats    —                                             engine/scheduler/store
 shutdown —                                             acknowledgement
 ======== ============================================= =========================
+
+``mitigate`` runs the full detect → repair → re-verify synthesis of
+:mod:`repro.mitigation` on the server's engine (so all intermediate
+analyses hit the shared caches) and memoises whole results — in memory
+and, when a store is attached, in the tier-2 store keyed by the
+program + configuration hash (:func:`repro.mitigation.mitigation_key`).
 
 Every response carries ``"ok": true`` or ``"ok": false`` plus
 ``"error"``; protocol errors never kill the connection, and a broken
@@ -31,7 +38,9 @@ import socket
 import threading
 import time
 
+from repro.engine.cache import LRUCache
 from repro.engine.engine import AnalysisEngine
+from repro.mitigation import mitigation_key, synthesize_mitigation
 from repro.service.scheduler import JobScheduler, JobState
 from repro.service.store import ResultStore
 from repro.service.wire import (
@@ -67,6 +76,14 @@ class ReproServer:
         self.scheduler = JobScheduler(
             self.engine, max_workers=max_workers, batch_size=batch_size
         )
+        self._mitigations = LRUCache(maxsize=64)
+        # Mitigation synthesis runs on the connection thread (it is a
+        # multi-request *driver*, not a unit of scheduler work), so bound
+        # and coalesce it explicitly: at most max_workers concurrent
+        # syntheses, and one per key — duplicates wait, then hit the cache.
+        self._mitigation_gate = threading.BoundedSemaphore(max(1, max_workers))
+        self._mitigation_locks: dict[str, threading.Lock] = {}
+        self._mitigation_locks_mutex = threading.Lock()
         self._stopping = threading.Event()
         self._threads: list[threading.Thread] = []
         self._listener = socket.create_server((host, port), reuse_port=False)
@@ -206,6 +223,57 @@ class ReproServer:
             "result": wire,
             "fingerprint": result_fingerprint(wire),
         }
+
+    def _op_mitigate(self, message: dict) -> dict:
+        """Synthesise (or replay) a verified fence placement."""
+        request = request_from_wire(message.get("request") or {})
+        optimize = bool(message.get("optimize", True))
+        key = mitigation_key(request, optimize)
+        result = self._lookup_mitigation(key)
+        from_cache = True
+        if result is None:
+            try:
+                with self._mitigation_lock(key):
+                    # Identical concurrent requests coalesce here: the first
+                    # holder synthesises, the rest find its cached result.
+                    result = self._lookup_mitigation(key)
+                    if result is None:
+                        from_cache = False
+                        with self._mitigation_gate:
+                            result = synthesize_mitigation(
+                                request, engine=self.engine, optimize=optimize
+                            )
+                        self._mitigations.put(key, result)
+                        if self.engine.result_store is not None:
+                            try:
+                                self.engine.result_store.put(key, result)
+                            except OSError:
+                                pass  # tier 2 is best-effort, as in the engine
+            finally:
+                # Drop the per-key lock so the dict stays bounded (late
+                # waiters keep their reference and will hit the cache).
+                with self._mitigation_locks_mutex:
+                    self._mitigation_locks.pop(key, None)
+        wire = result.to_wire()
+        wire["from_cache"] = from_cache
+        if from_cache:
+            # The key deliberately excludes the label (identical programs
+            # coalesce), so a replay must never leak the first requester's
+            # label back as this result's name — even to label-less callers.
+            wire["name"] = request.label or request.entry or "<program>"
+        return {"ok": True, "mitigation": wire}
+
+    def _lookup_mitigation(self, key: str):
+        result = self._mitigations.get(key)
+        if result is None and self.engine.result_store is not None:
+            result = self.engine.result_store.get(key)
+            if result is not None:
+                self._mitigations.put(key, result)
+        return result
+
+    def _mitigation_lock(self, key: str) -> threading.Lock:
+        with self._mitigation_locks_mutex:
+            return self._mitigation_locks.setdefault(key, threading.Lock())
 
     def _op_stats(self, message: dict) -> dict:
         engine_stats = self.engine.stats

@@ -34,6 +34,13 @@ class SpeculationConfig:
                 f"({self.depth_hit} > {self.depth_miss})"
             )
 
+    @property
+    def disabled(self) -> bool:
+        """True when speculation is fully turned off (zero ``bm``, and
+        therefore zero ``bh``): no excursion may execute any instruction,
+        so speculative semantics degenerate to the sequential ones."""
+        return self.depth_miss == 0
+
     @classmethod
     def paper_default(cls) -> "SpeculationConfig":
         """The configuration used in the paper's evaluation (Section 7)."""

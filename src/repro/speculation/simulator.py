@@ -29,6 +29,7 @@ from repro.ir.instructions import (
     CondBranch,
     Const,
     Copy,
+    Fence,
     Jump,
     Load,
     MemoryRef,
@@ -194,6 +195,12 @@ class SpeculativeSimulator:
         if isinstance(self.predictor, PerfectPredictor):
             return actual_target
 
+        if self.speculation.disabled and self.excursion_length is None:
+            # Speculation turned off entirely (depth 0): behave exactly like
+            # a sequential machine — no predictor traffic, no misprediction
+            # accounting, no excursion machinery.
+            return actual_target
+
         if isinstance(self.predictor, OpposingPredictor):
             self.predictor.prime(actual_taken)
         predicted_taken = self.predictor.predict(block_name)
@@ -247,6 +254,12 @@ class SpeculativeSimulator:
             block = self.cfg.block(block_name)
             for index, instruction in enumerate(block.instructions):
                 if budget <= 0:
+                    break
+                if isinstance(instruction, Fence):
+                    # A fence stalls the pipeline until the mispredicted
+                    # branch resolves; the excursion ends here, before the
+                    # fence retires anything speculatively.
+                    budget = 0
                     break
                 budget -= 1
                 self._step(result)
@@ -311,6 +324,10 @@ class SpeculativeSimulator:
             ])
             if instruction.dest is not None:
                 machine.temps[instruction.dest] = value
+        elif isinstance(instruction, Fence):
+            # Architecturally a no-op; its speculation-barrier effect is
+            # enforced in _speculate, which never executes past a fence.
+            pass
 
     def _touch(
         self,

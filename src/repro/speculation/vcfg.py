@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 
 from repro.ir.cfg import CFG
 from repro.ir.dominators import VIRTUAL_EXIT, compute_postdominators
-from repro.ir.instructions import CondBranch, MemoryRef
+from repro.ir.instructions import CondBranch, Fence, MemoryRef
 from repro.speculation.config import SpeculationConfig
 
 
@@ -167,6 +167,14 @@ def build_vcfg(cfg: CFG, config: SpeculationConfig) -> VirtualCFG:
     return vcfg
 
 
+def first_fence_index(cfg: CFG, block: str) -> int | None:
+    """Index of the first :class:`Fence` in ``block`` (None when absent)."""
+    for index, instruction in enumerate(cfg.block(block).instructions):
+        if isinstance(instruction, Fence):
+            return index
+    return None
+
+
 def compute_window(cfg: CFG, start: str, depth: int) -> SpeculativeWindow:
     """Blocks reachable from ``start`` within ``depth`` instructions.
 
@@ -174,6 +182,12 @@ def compute_window(cfg: CFG, start: str, depth: int) -> SpeculativeWindow:
     before reaching it from ``start``; its allowance is whatever remains of
     the budget.  Using the minimum distance is the sound direction: a block
     reachable within the budget along *any* path is included.
+
+    A :class:`Fence` is a hard speculation barrier: a block containing one
+    contributes at most its pre-fence prefix to the window and never
+    extends the window into its successors (a fence at instruction 0
+    excludes the block — and with it the whole scenario, when the block is
+    the mispredicted target).
     """
     if depth <= 0:
         return SpeculativeWindow(depth=depth)
@@ -184,6 +198,11 @@ def compute_window(cfg: CFG, start: str, depth: int) -> SpeculativeWindow:
         # block's final distance is settled when it is expanded.
         worklist.sort(key=lambda name: distance[name])
         block_name = worklist.pop(0)
+        if first_fence_index(cfg, block_name) is not None:
+            # Speculation stalls at the fence until the branch resolves
+            # and the excursion is squashed: successors are unreachable
+            # speculatively through this block.
+            continue
         block_distance = distance[block_name]
         block_length = cfg.block(block_name).instruction_count
         exit_distance = block_distance + block_length
@@ -194,11 +213,17 @@ def compute_window(cfg: CFG, start: str, depth: int) -> SpeculativeWindow:
                 distance[successor] = exit_distance
                 if successor not in worklist:
                     worklist.append(successor)
-    allowed = {
-        name: min(cfg.block(name).instruction_count, depth - dist)
-        for name, dist in distance.items()
-        if depth - dist > 0
-    }
+    allowed: dict[str, int] = {}
+    for name, dist in distance.items():
+        if depth - dist <= 0:
+            continue
+        limit = cfg.block(name).instruction_count
+        fence = first_fence_index(cfg, name)
+        if fence is not None:
+            limit = min(limit, fence)
+        allowance = min(limit, depth - dist)
+        if allowance > 0:
+            allowed[name] = allowance
     return SpeculativeWindow(depth=depth, allowed=allowed)
 
 

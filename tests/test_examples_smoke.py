@@ -31,6 +31,7 @@ class TestExamples:
             "wcet_estimation.py",
             "side_channel_detection.py",
             "merge_strategies.py",
+            "mitigation_synthesis.py",
         } <= names
 
     def test_wcet_example_runs_on_subset(self, capsys):
@@ -51,6 +52,19 @@ class TestExamples:
         output = capsys.readouterr().out
         assert "encoder" in output
         assert "buffer sweep" in output
+
+    def test_mitigation_example_runs_on_subset(self, capsys):
+        module = _load("mitigation_synthesis")
+        module.main(["des"])
+        output = capsys.readouterr().out
+        assert "== des ==" in output
+        assert "optimized" in output
+        assert "chosen 'optimized'" in output
+
+    def test_mitigation_example_rejects_unknown_kernel(self):
+        module = _load("mitigation_synthesis")
+        with pytest.raises(SystemExit):
+            module.main(["not-a-kernel"])
 
     def test_merge_strategy_example_runs(self, capsys):
         module = _load("merge_strategies")

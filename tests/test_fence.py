@@ -1,0 +1,276 @@
+"""The ``fence`` speculation barrier: language, IR, windows, simulator —
+plus the :class:`SpeculationConfig` boundary cases (``depth_hit ==
+depth_miss`` and depth 0) the simulator must short-circuit cleanly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.analysis.baseline import analyze_baseline
+from repro.analysis.speculative import analyze_speculative
+from repro.errors import ConfigError
+from repro.frontend import compile_source
+from repro.ir.instructions import Fence
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.speculation.config import SpeculationConfig
+from repro.speculation.predictor import OpposingPredictor, PerfectPredictor
+from repro.speculation.simulator import SpeculativeSimulator
+from repro.speculation.vcfg import build_vcfg, compute_window, first_fence_index
+
+#: A branch whose wrong (taken) path touches memory the right path never
+#: does; under misprediction the excursion pollutes the cache.
+BRANCHY = """
+char table[256];
+char other[256];
+int p;
+int main() {
+  reg int t;
+  if (p > 0) {
+    t = other[0];
+    t = other[64];
+  }
+  t = table[0];
+  return t;
+}
+"""
+
+FENCED = BRANCHY.replace("t = other[0];", "fence;\n    t = other[0];")
+
+#: Speculation-only leak at an 11-line cache: either pad alone fits next
+#: to the preloaded S-box, both pads (mispredicted arm + re-executed
+#: correct arm) do not.
+SPEC_LEAK = """
+char sbox[256];
+char pad_a[192];
+char pad_b[192];
+secret int key;
+int mode;
+
+int main() {
+  reg int i;
+  reg int t;
+  for (i = 0; i < 256; i = i + 64) { t = sbox[i]; }
+  if (mode > 0) {
+    t = pad_a[0] + pad_a[64] + pad_a[128];
+  } else {
+    t = pad_b[0] + pad_b[64] + pad_b[128];
+  }
+  t = sbox[key];
+  return t;
+}
+"""
+
+LEAK_CACHE = CacheConfig(num_lines=11, line_size=64)
+
+
+class TestFenceFrontend:
+    def test_parse_fence_statement(self):
+        program = parse_program("int main() { fence; return 0; }")
+        statements = program.function("main").body.statements
+        assert isinstance(statements[0], ast.Fence)
+
+    def test_parse_lfence_spellings(self):
+        for spelling in ("lfence;", "lfence();", "fence;"):
+            program = parse_program(f"int main() {{ {spelling} return 0; }}")
+            assert isinstance(
+                program.function("main").body.statements[0], ast.Fence
+            )
+
+    def test_fence_lowers_to_ir_instruction(self):
+        program = compile_source("int x; int main() { x = 1; fence; return x; }")
+        entry = program.cfg.block(program.cfg.entry)
+        kinds = [type(instruction) for instruction in entry.instructions]
+        assert Fence in kinds
+        fence = next(i for i in entry.instructions if isinstance(i, Fence))
+        assert fence.memory_refs() == ()
+        assert fence.defined_temp() is None
+        assert str(fence) == "fence"
+
+    def test_fence_survives_unrolling(self):
+        source = (
+            "char a[256]; int main() { reg int i; int t;"
+            " for (i = 0; i < 4; i = i + 1) { fence; t = a[i]; } return t; }"
+        )
+        program = compile_source(source)
+        fences = sum(
+            1
+            for name in program.cfg.reachable_blocks()
+            for instruction in program.cfg.block(name).instructions
+            if isinstance(instruction, Fence)
+        )
+        assert fences == 4  # one copy per unrolled iteration
+
+    def test_fence_survives_inlining(self):
+        source = (
+            "char a[256]; int helper(int x) { fence; return x; }"
+            " int main() { int t; t = helper(3); t = a[0]; return t; }"
+        )
+        program = compile_source(source)
+        fences = sum(
+            1
+            for name in program.cfg.reachable_blocks()
+            for instruction in program.cfg.block(name).instructions
+            if isinstance(instruction, Fence)
+        )
+        assert fences == 1
+
+
+class TestFenceWindows:
+    def test_fence_at_target_start_kills_scenario(self):
+        program = compile_source(FENCED)
+        vcfg = build_vcfg(program.cfg, SpeculationConfig.paper_default())
+        taken = [s for s in vcfg.scenarios if s.mispredicted_taken]
+        assert taken
+        for scenario in taken:
+            assert not scenario.window_miss.contains(scenario.wrong_target)
+            assert scenario.window_miss.num_instructions == 0
+
+    def test_unfenced_scenario_window_nonempty(self):
+        program = compile_source(BRANCHY)
+        vcfg = build_vcfg(program.cfg, SpeculationConfig.paper_default())
+        taken = [s for s in vcfg.scenarios if s.mispredicted_taken]
+        assert all(s.window_miss.num_instructions > 0 for s in taken)
+
+    def test_mid_block_fence_truncates_allowance(self):
+        source = (
+            "char a[256]; char b[256]; int p; int main() { reg int t;"
+            " if (p > 0) { t = a[0]; fence; t = b[0]; }"
+            " t = a[64]; return t; }"
+        )
+        program = compile_source(source)
+        cfg = program.cfg
+        branch = cfg.conditional_blocks()[0]
+        wrong = cfg.block(branch).terminator.true_target
+        fence_at = first_fence_index(cfg, wrong)
+        assert fence_at is not None and fence_at > 0
+        window = compute_window(cfg, wrong, depth=200)
+        # Only the pre-fence prefix is speculable, and the window must not
+        # leak past the fence into successors.
+        assert window.allowed == {wrong: fence_at}
+
+    def test_fenced_speculative_analysis_matches_baseline_counts(self):
+        # Every arm of the single branch begins with a fence: the then-arm
+        # directly, and the fall-through target (`t = table[0]`) after the
+        # if — so no scenario has a window and the speculative analysis
+        # degenerates to the baseline.
+        fully_fenced = compile_source(
+            "char table[256];\nchar other[256];\nint p;\n"
+            "int main() {\n  reg int t;\n"
+            "  if (p > 0) {\n    fence;\n    t = other[0];\n    t = other[64];\n  }\n"
+            "  fence;\n  t = table[0];\n  return t;\n}\n"
+        )
+        cache = CacheConfig(num_lines=4, line_size=64)
+        spec = analyze_speculative(fully_fenced, cache_config=cache)
+        base = analyze_baseline(fully_fenced, cache_config=cache)
+        assert spec.miss_count == base.miss_count
+        assert spec.hit_count == base.hit_count
+        assert spec.speculative_miss_count == 0
+
+    def test_fences_close_speculation_only_leak(self):
+        leaky = compile_source(SPEC_LEAK)
+        assert not analyze_baseline(leaky, cache_config=LEAK_CACHE).leak_detected
+        assert analyze_speculative(leaky, cache_config=LEAK_CACHE).leak_detected
+        patched = compile_source(
+            SPEC_LEAK.replace("t = pad_a[0]", "fence;\n    t = pad_a[0]").replace(
+                "t = pad_b[0]", "fence;\n    t = pad_b[0]"
+            )
+        )
+        assert not analyze_speculative(patched, cache_config=LEAK_CACHE).leak_detected
+
+
+class TestFenceSimulator:
+    def _run(self, source: str, **kwargs):
+        program = compile_source(source)
+        cache = CacheConfig(num_lines=4, line_size=64)
+        simulator = SpeculativeSimulator(
+            program, cache_config=cache, predictor=OpposingPredictor(), **kwargs
+        )
+        return simulator.run({"p": 0})
+
+    def test_excursion_stops_at_fence(self):
+        unfenced = self._run(BRANCHY)
+        fenced = self._run(FENCED)
+        assert unfenced.speculative_excursions >= 1
+        assert any(record.speculative for record in unfenced.accesses)
+        # The fence sits before the wrong path's first access: the
+        # excursion happens but touches nothing.
+        assert not any(record.speculative for record in fenced.accesses)
+        assert fenced.misses < unfenced.misses
+
+    def test_fence_stops_fixed_length_excursions_too(self):
+        fenced = self._run(FENCED, excursion_length=50)
+        assert not any(record.speculative for record in fenced.accesses)
+
+    def test_fence_is_architectural_noop(self):
+        program_plain = compile_source("int x; int main() { x = 7; return x; }")
+        program_fenced = compile_source(
+            "int x; int main() { fence; x = 7; fence; return x; }"
+        )
+        plain = SpeculativeSimulator(program_plain).run()
+        fenced = SpeculativeSimulator(program_fenced).run()
+        assert fenced.return_value == plain.return_value == 7
+        assert fenced.misses == plain.misses
+
+
+class TestSpeculationBoundaries:
+    def test_equal_depths_are_valid_and_windows_coincide(self):
+        config = SpeculationConfig(depth_miss=30, depth_hit=30)
+        program = compile_source(BRANCHY)
+        vcfg = build_vcfg(program.cfg, config)
+        for scenario in vcfg.scenarios:
+            assert scenario.window_miss.allowed == scenario.window_hit.allowed
+            assert scenario.window(True).depth == scenario.window(False).depth == 30
+
+    def test_hit_depth_above_miss_depth_rejected(self):
+        with pytest.raises(ConfigError):
+            SpeculationConfig(depth_miss=10, depth_hit=11)
+        with pytest.raises(ConfigError):
+            SpeculationConfig(depth_miss=-1)
+
+    def test_depth_zero_is_disabled(self):
+        assert SpeculationConfig.no_speculation().disabled
+        assert SpeculationConfig(depth_miss=0, depth_hit=0).disabled
+        assert not SpeculationConfig.paper_default().disabled
+
+    def test_depth_zero_simulator_matches_perfect_prediction(self):
+        program = compile_source(BRANCHY)
+        cache = CacheConfig(num_lines=4, line_size=64)
+        disabled = SpeculativeSimulator(
+            program,
+            cache_config=cache,
+            speculation=SpeculationConfig.no_speculation(),
+            predictor=OpposingPredictor(),
+        ).run({"p": 0})
+        perfect = SpeculativeSimulator(
+            program, cache_config=cache, predictor=PerfectPredictor()
+        ).run({"p": 0})
+        assert disabled.mispredictions == 0
+        assert disabled.speculative_excursions == 0
+        assert disabled.misses == perfect.misses
+        assert disabled.hits == perfect.hits
+        assert not any(record.speculative for record in disabled.accesses)
+
+    def test_depth_zero_analysis_matches_baseline(self):
+        program = compile_source(SPEC_LEAK)
+        spec = analyze_speculative(
+            program,
+            cache_config=LEAK_CACHE,
+            speculation=SpeculationConfig.no_speculation(),
+        )
+        base = analyze_baseline(program, cache_config=LEAK_CACHE)
+        assert spec.miss_count == base.miss_count
+        assert spec.hit_count == base.hit_count
+        assert not spec.leak_detected
+
+    def test_equal_depths_analysis_runs_clean(self):
+        program = compile_source(SPEC_LEAK)
+        result = analyze_speculative(
+            program,
+            cache_config=LEAK_CACHE,
+            speculation=SpeculationConfig(depth_miss=200, depth_hit=200),
+        )
+        # With bh == bm the dynamic bound changes nothing: same verdict as
+        # the paper-default configuration on this program.
+        assert result.leak_detected

@@ -1,0 +1,192 @@
+"""Round-trips through the MiniC source emitter.
+
+``program_to_source`` must emit text that the normal front end re-parses
+into an equivalent program — including programs containing the ``fence``
+statement, and including the full pipeline (unroll → lower → inline) on
+the re-parsed text.  Equivalence is checked structurally (same CFG
+blocks, same instruction mix) and semantically (identical analysis
+verdicts), not textually.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.baseline import analyze_baseline
+from repro.analysis.speculative import analyze_speculative
+from repro.bench.client import build_client_source
+from repro.bench.crypto import crypto_kernel
+from repro.bench.programs import motivating_example_source
+from repro.cache.config import CacheConfig
+from repro.frontend import compile_source
+from repro.ir.instructions import Fence
+from repro.ir.printer import program_to_source
+from repro.lang import ast
+from repro.lang.parser import parse_program
+
+FENCED_SOURCE = """
+char sbox[512];
+char buf[256] = {1, 2, 3};
+secret int key;
+int mode;
+
+int helper(int x) {
+  fence;
+  return x + sbox[x];
+}
+
+int main() {
+  reg int i;
+  int t;
+  for (i = 0; i < 512; i = i + 64) { t = sbox[i]; }
+  while (t > 100) { t = t - buf[t & 255]; }
+  if (mode > 0) {
+    fence;
+    t = helper(t);
+  } else {
+    t = -t + my_abs(mode);
+  }
+  fence;
+  t = sbox[key];
+  return t;
+}
+"""
+
+SOURCES = {
+    "fenced": FENCED_SOURCE,
+    "motivating": motivating_example_source(num_lines=64, line_size=64),
+    "crypto-client": build_client_source(crypto_kernel("hash", 64, 64), 2752),
+}
+
+
+def _ir_fences(program) -> int:
+    return sum(
+        1
+        for name in program.cfg.reachable_blocks()
+        for instruction in program.cfg.block(name).instructions
+        if isinstance(instruction, Fence)
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SOURCES))
+class TestRoundTrip:
+    def test_emitter_is_idempotent(self, name):
+        source = SOURCES[name]
+        once = program_to_source(parse_program(source))
+        twice = program_to_source(parse_program(once))
+        assert once == twice
+
+    def test_reparse_preserves_cfg_structure(self, name):
+        source = SOURCES[name]
+        original = compile_source(source)
+        reparsed = compile_source(program_to_source(parse_program(source)))
+        assert set(original.cfg.blocks) == set(reparsed.cfg.blocks)
+        for block_name in original.cfg.blocks:
+            first = original.cfg.block(block_name)
+            second = reparsed.cfg.block(block_name)
+            assert [type(i) for i in first.instructions] == [
+                type(i) for i in second.instructions
+            ]
+            assert type(first.terminator) is type(second.terminator)
+        assert _ir_fences(original) == _ir_fences(reparsed)
+
+    def test_reparse_preserves_analysis_verdicts(self, name):
+        source = SOURCES[name]
+        cache = CacheConfig(num_lines=64, line_size=64)
+        original = compile_source(source)
+        reparsed = compile_source(program_to_source(parse_program(source)))
+        for analyze in (analyze_baseline, analyze_speculative):
+            first = analyze(original, cache_config=cache)
+            second = analyze(reparsed, cache_config=cache)
+            assert first.miss_count == second.miss_count
+            assert first.hit_count == second.hit_count
+            assert first.leak_detected == second.leak_detected
+        spec_first = analyze_speculative(original, cache_config=cache)
+        spec_second = analyze_speculative(reparsed, cache_config=cache)
+        assert spec_first.num_speculative_branches == spec_second.num_speculative_branches
+        assert spec_first.speculative_miss_count == spec_second.speculative_miss_count
+
+
+class TestFencePreservation:
+    def test_fence_statements_round_trip_through_reparse(self):
+        program = parse_program(FENCED_SOURCE)
+        emitted = program_to_source(program)
+        assert emitted.count("fence;") == 3
+        reparsed = parse_program(emitted)
+        original_fences = sum(
+            1
+            for fn in program.functions
+            for stmt in ast.walk_statements(fn.body)
+            if isinstance(stmt, ast.Fence)
+        )
+        reparsed_fences = sum(
+            1
+            for fn in reparsed.functions
+            for stmt in ast.walk_statements(fn.body)
+            if isinstance(stmt, ast.Fence)
+        )
+        assert original_fences == reparsed_fences == 3
+
+    def test_fences_preserved_through_unroll_and_inline(self):
+        # The helper's fence is inlined into main; the loop fence is
+        # replicated per unrolled iteration — on both sides of the
+        # round trip.
+        source = (
+            "char a[512];\n"
+            "int helper(int x) { fence; return a[x]; }\n"
+            "int main() { reg int i; int t; t = 0;\n"
+            "  for (i = 0; i < 3; i = i + 1) { fence; t = t + helper(i); }\n"
+            "  return t; }\n"
+        )
+        original = compile_source(source)
+        reparsed = compile_source(program_to_source(parse_program(source)))
+        assert _ir_fences(original) == _ir_fences(reparsed) == 6
+
+    def test_unroll_and_inline_disabled_round_trip(self):
+        source = FENCED_SOURCE
+        original = compile_source(source, unroll=False, inline=False)
+        reparsed = compile_source(
+            program_to_source(parse_program(source)), unroll=False, inline=False
+        )
+        assert set(original.cfg.blocks) == set(reparsed.cfg.blocks)
+        assert _ir_fences(original) == _ir_fences(reparsed)
+
+
+class TestEmitterDetails:
+    def test_negative_literals_and_unary_chains(self):
+        source = "int main() { reg int x; x = - -3; x = ~(-x); x = !x; return x; }"
+        once = program_to_source(parse_program(source))
+        assert program_to_source(parse_program(once)) == once
+
+    def test_qualifiers_and_initializers_survive(self):
+        source = (
+            "const char tab[128] = {7, 8, 9};\n"
+            "secret long k = 42;\n"
+            "reg int counter;\n"
+            "int main() { return tab[0] + k; }\n"
+        )
+        emitted = program_to_source(parse_program(source))
+        assert "const char tab[128] = {7, 8, 9};" in emitted
+        assert "secret long k = 42;" in emitted
+        assert "reg int counter;" in emitted
+        reparsed = parse_program(emitted)
+        decl = next(d for d in reparsed.globals if d.name == "k")
+        assert decl.qualifiers.is_secret
+        tab = next(d for d in reparsed.globals if d.name == "tab")
+        assert tab.init == [7, 8, 9]
+
+    def test_simulation_agrees_across_round_trip(self):
+        from repro.speculation.simulator import SpeculativeSimulator
+
+        source = SOURCES["fenced"]
+        cache = CacheConfig(num_lines=16, line_size=64)
+        first = SpeculativeSimulator(
+            compile_source(source), cache_config=cache
+        ).run({"mode": 1})
+        second = SpeculativeSimulator(
+            compile_source(program_to_source(parse_program(source))),
+            cache_config=cache,
+        ).run({"mode": 1})
+        assert first.return_value == second.return_value
+        assert first.misses == second.misses
+        assert first.mispredictions == second.mispredictions
