@@ -49,8 +49,8 @@ def analyze_baseline(
     started = time.perf_counter()
     result = solve_forward(
         cfg,
-        entry_state=new_entry_state(config.num_lines, use_shadow_state),
-        bottom=new_bottom_state(config.num_lines, use_shadow_state),
+        entry_state=new_entry_state(config, use_shadow_state),
+        bottom=new_bottom_state(config, use_shadow_state),
         transfer=lambda name, state: transfer_block(state, table, name),
     )
     elapsed = time.perf_counter() - started

@@ -103,8 +103,7 @@ class SpeculativeCacheAnalysis:
         self.chooser = DepthChooser(self.speculation, self.layout)
         self.secret_symbols = set(program.info.secret_symbols)
         self._use_shadow = self.speculation.use_shadow_state
-        self._num_lines = self.cache_config.num_lines
-        self._bottom = new_bottom_state(self._num_lines, self._use_shadow)
+        self._bottom = new_bottom_state(self.cache_config, self._use_shadow)
         self._scenarios_by_branch: dict[str, list[SpeculationScenario]] = {}
         for scenario in self.vcfg.scenarios:
             self._scenarios_by_branch.setdefault(scenario.branch_block, []).append(scenario)
@@ -145,7 +144,7 @@ class SpeculativeCacheAnalysis:
         )
 
         normal: dict[str, object] = {name: self._bottom for name in reachable}
-        normal[cfg.entry] = new_entry_state(self._num_lines, self._use_shadow)
+        normal[cfg.entry] = new_entry_state(self.cache_config, self._use_shadow)
         speculative: dict[str, dict[SlotKey, object]] = {name: {} for name in reachable}
         visits: dict[str, int] = {name: 0 for name in reachable}
 

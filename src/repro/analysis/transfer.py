@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cache.abstract import CacheState
+from repro.cache.config import CacheConfig
+from repro.cache.setassoc import SetAssocCacheState
 from repro.cache.shadow import ShadowCacheState
 from repro.ir.cfg import CFG
 from repro.ir.memory import AccessKind, BlockAccess, MemoryLayout
@@ -57,13 +59,25 @@ class AccessTable:
         return sum(len(sites) for sites in self._by_block.values())
 
 
-def new_entry_state(num_lines: int, use_shadow: bool):
-    """Fresh empty-cache state of the selected flavour."""
-    return ShadowCacheState.empty(num_lines) if use_shadow else CacheState.empty(num_lines)
+def new_entry_state(config: CacheConfig, use_shadow: bool):
+    """Fresh empty-cache state of the flavour ``config`` calls for.
+
+    Fully-associative geometries use the flat single-set domain (the
+    paper's default, bit-identical to the pre-geometry behaviour);
+    set-associative ones use the per-set product domain.  Both honour
+    ``config.policy``.
+    """
+    if config.is_fully_associative:
+        flavour = ShadowCacheState if use_shadow else CacheState
+        return flavour.empty(config.num_lines, policy=config.policy)
+    return SetAssocCacheState.empty(config, use_shadow)
 
 
-def new_bottom_state(num_lines: int, use_shadow: bool):
-    return ShadowCacheState.bottom(num_lines) if use_shadow else CacheState.bottom(num_lines)
+def new_bottom_state(config: CacheConfig, use_shadow: bool):
+    if config.is_fully_associative:
+        flavour = ShadowCacheState if use_shadow else CacheState
+        return flavour.bottom(config.num_lines, policy=config.policy)
+    return SetAssocCacheState.bottom(config, use_shadow)
 
 
 def transfer_block(state, table: AccessTable, block: str, instruction_limit: int | None = None):

@@ -61,21 +61,29 @@ TABLE7_BUFFER_BYTES: dict[str, int] = {
 }
 
 
-def table7_client_request(name: str) -> AnalysisRequest:
+def table7_client_request(
+    name: str, cache_config: CacheConfig | None = None
+) -> AnalysisRequest:
     """The speculative request for one crypto kernel's Figure-10 client
     harness at the Table-7 configuration.
 
     One definition shared by the ``repro mitigate`` CLI, the mitigation
     example and ``benchmarks/bench_mitigation.py``, so all three analyse
     the identical program (and hash to the same cache keys).
+
+    ``cache_config`` overrides the cache geometry/policy while keeping
+    the Table-7 program (kernel and buffer sizes are always derived from
+    ``BENCH_CACHE`` so the analysed source stays identical across
+    geometries — only the cache model changes).
     """
+    cache = cache_config or BENCH_CACHE
     kernel = crypto_kernel(name, BENCH_CACHE.num_lines, BENCH_CACHE.line_size)
     buffer_bytes = TABLE7_BUFFER_BYTES.get(name, BENCH_CACHE.size_bytes)
     source = build_client_source(kernel, buffer_bytes, line_size=BENCH_CACHE.line_size)
     return AnalysisRequest.speculative(
         source,
         line_size=BENCH_CACHE.line_size,
-        cache_config=BENCH_CACHE,
+        cache_config=cache,
         speculation=BENCH_SPECULATION,
         label=name,
     )

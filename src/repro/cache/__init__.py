@@ -9,11 +9,19 @@ Two abstract states are provided:
 * :class:`~repro.cache.shadow.ShadowCacheState` — the refined state of
   Section 6.3 / Appendix B that additionally tracks *shadow variables*
   (may-ages) and uses them to avoid unnecessary aging at join-heavy loops.
+
+For set-associative geometries (``CacheConfig.associativity`` not None),
+:class:`~repro.cache.setassoc.SetAssocCacheState` lifts either flavour
+to a product of per-set states over the deterministic set placement of
+:mod:`repro.cache.placement` — the same placement the concrete simulator
+uses, which is what makes the soundness argument carry over.
 """
 
-from repro.cache.config import CacheConfig
+from repro.cache.config import CacheConfig, REPLACEMENT_POLICIES
 from repro.cache.concrete import ConcreteCache
 from repro.cache.abstract import AGE_INFINITY, CacheState
+from repro.cache.placement import set_index
+from repro.cache.setassoc import SetAssocCacheState
 from repro.cache.shadow import ShadowCacheState
 
 __all__ = [
@@ -21,5 +29,8 @@ __all__ = [
     "CacheConfig",
     "CacheState",
     "ConcreteCache",
+    "REPLACEMENT_POLICIES",
+    "SetAssocCacheState",
     "ShadowCacheState",
+    "set_index",
 ]

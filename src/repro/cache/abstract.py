@@ -30,33 +30,41 @@ class CacheState:
     (i.e. blocks that are guaranteed cached); everything else is implicitly
     at :data:`AGE_INFINITY`.  ``is_bottom`` marks the unreachable state
     (the join identity, written ⊥ in the paper).
+
+    ``policy`` selects the replacement semantics the transfer functions
+    model: ``lru`` (the paper's domain, Figure 4) or ``fifo`` (no age
+    refresh on a hit; see :meth:`access_block`).  The lattice operations
+    are policy-independent.
     """
 
     num_lines: int
     ages: dict[MemoryBlock, int] = field(default_factory=dict)
     is_bottom: bool = False
+    policy: str = "lru"
 
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
-    def empty(cls, num_lines: int) -> "CacheState":
+    def empty(cls, num_lines: int, policy: str = "lru") -> "CacheState":
         """The entry state: an empty cache (nothing is guaranteed cached).
 
         This is the ⊤ element of Algorithm 1/2: no information is assumed
         about the initial cache contents.
         """
-        return cls(num_lines=num_lines)
+        return cls(num_lines=num_lines, policy=policy)
 
     @classmethod
-    def bottom(cls, num_lines: int) -> "CacheState":
+    def bottom(cls, num_lines: int, policy: str = "lru") -> "CacheState":
         """The unreachable state (⊥): identity of the join."""
-        return cls(num_lines=num_lines, is_bottom=True)
+        return cls(num_lines=num_lines, is_bottom=True, policy=policy)
 
     @classmethod
-    def from_ages(cls, num_lines: int, ages: dict[MemoryBlock, int]) -> "CacheState":
+    def from_ages(
+        cls, num_lines: int, ages: dict[MemoryBlock, int], policy: str = "lru"
+    ) -> "CacheState":
         kept = {block: age for block, age in ages.items() if age <= num_lines}
-        return cls(num_lines=num_lines, ages=kept)
+        return cls(num_lines=num_lines, ages=kept, policy=policy)
 
     # ------------------------------------------------------------------
     # Queries
@@ -101,11 +109,33 @@ class CacheState:
         return self.access_unknown_array(access.symbol, len(access.blocks))
 
     def access_block(self, block: MemoryBlock) -> "CacheState":
-        """Access a single, statically known block (Figure 4 semantics):
-        the accessed block becomes the youngest; every block that may have
-        been younger than it ages by one."""
+        """Access a single, statically known block.
+
+        LRU (Figure 4 semantics): the accessed block becomes the
+        youngest; every block that may have been younger than it ages by
+        one.
+
+        FIFO: a hit leaves the queue untouched, so if the block is
+        guaranteed cached the state is unchanged.  Otherwise the access
+        may miss, in which case a new line is inserted at the front:
+        every bound grows by one, and the accessed block — now definitely
+        resident, but at an unknown position (front on a miss, anywhere
+        on a hit) — gets the weakest in-cache bound ``num_lines``.
+        """
         if self.is_bottom:
             return self
+        if self.policy == "fifo":
+            if block in self.ages:
+                return self
+            new_ages = {}
+            for other, age in self.ages.items():
+                aged = age + 1
+                if aged <= self.num_lines:
+                    new_ages[other] = aged
+            new_ages[block] = self.num_lines
+            return CacheState(
+                num_lines=self.num_lines, ages=new_ages, policy=self.policy
+            )
         accessed_age = self.age(block)
         new_ages: dict[MemoryBlock, int] = {}
         for other, age in self.ages.items():
@@ -118,7 +148,7 @@ class CacheState:
             else:
                 new_ages[other] = age
         new_ages[block] = 1
-        return CacheState(num_lines=self.num_lines, ages=new_ages)
+        return CacheState(num_lines=self.num_lines, ages=new_ages, policy=self.policy)
 
     def access_unknown(self) -> "CacheState":
         """Access whose target block is not statically known.
@@ -134,7 +164,7 @@ class CacheState:
             aged = age + 1
             if aged <= self.num_lines:
                 new_ages[block] = aged
-        return CacheState(num_lines=self.num_lines, ages=new_ages)
+        return CacheState(num_lines=self.num_lines, ages=new_ages, policy=self.policy)
 
     def access_unknown_array(self, symbol: str, num_blocks: int) -> "CacheState":
         """Unknown-index access to an array, using the paper's Table-1
@@ -173,7 +203,7 @@ class CacheState:
             other_age = other.ages.get(block)
             if other_age is not None:
                 new_ages[block] = max(age, other_age)
-        return CacheState(num_lines=self.num_lines, ages=new_ages)
+        return CacheState(num_lines=self.num_lines, ages=new_ages, policy=self.policy)
 
     def widen(self, previous: "CacheState") -> "CacheState":
         """Widening: any age that grew since ``previous`` jumps to infinity.
@@ -196,7 +226,7 @@ class CacheState:
                 continue
             else:
                 new_ages[block] = age
-        return CacheState(num_lines=self.num_lines, ages=new_ages)
+        return CacheState(num_lines=self.num_lines, ages=new_ages, policy=self.policy)
 
     def leq(self, other: "CacheState") -> bool:
         """Partial order: ``self ⊑ other`` iff self is at least as precise."""
@@ -211,9 +241,11 @@ class CacheState:
         return True
 
     def _check_compatible(self, other: "CacheState") -> None:
-        if self.num_lines != other.num_lines:
+        if self.num_lines != other.num_lines or self.policy != other.policy:
             raise ValueError(
-                f"incompatible cache states: {self.num_lines} vs {other.num_lines} lines"
+                "incompatible cache states: "
+                f"{self.num_lines} lines/{self.policy} vs "
+                f"{other.num_lines} lines/{other.policy}"
             )
 
     # ------------------------------------------------------------------
@@ -225,11 +257,14 @@ class CacheState:
         return (
             self.num_lines == other.num_lines
             and self.is_bottom == other.is_bottom
+            and self.policy == other.policy
             and self.ages == other.ages
         )
 
     def __hash__(self) -> int:  # pragma: no cover - states are not hashed in hot paths
-        return hash((self.num_lines, self.is_bottom, frozenset(self.ages.items())))
+        return hash(
+            (self.num_lines, self.is_bottom, self.policy, frozenset(self.ages.items()))
+        )
 
     def __repr__(self) -> str:
         if self.is_bottom:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cache.config import CacheConfig
+from repro.cache.placement import set_index
 from repro.ir.memory import MemoryBlock
 
 
@@ -47,12 +48,18 @@ class CacheStats:
 
 @dataclass
 class ConcreteCache:
-    """A set-associative (or fully associative) LRU cache of memory blocks."""
+    """A set-associative (or fully associative) cache of memory blocks.
+
+    Replacement within each set follows ``config.policy``: ``lru``
+    refreshes a line's position on every hit, ``fifo`` keeps pure
+    insertion order (a hit does not touch the queue).
+    """
 
     config: CacheConfig = field(default_factory=CacheConfig)
 
     def __post_init__(self) -> None:
-        # One LRU list per set; index 0 is the most recently used entry.
+        # One replacement list per set; index 0 is the youngest entry
+        # (most recently used under LRU, most recently inserted under FIFO).
         self._sets: list[list[MemoryBlock]] = [[] for _ in range(self.config.num_sets)]
         self.stats = CacheStats()
 
@@ -60,9 +67,10 @@ class ConcreteCache:
     # Placement
     # ------------------------------------------------------------------
     def _set_index(self, block: MemoryBlock) -> int:
-        if self.config.num_sets == 1:
-            return 0
-        return hash((block.symbol, block.index)) % self.config.num_sets
+        # Deterministic placement shared with the abstract per-set domain;
+        # builtin hash() would change with PYTHONHASHSEED and make
+        # set-associative runs irreproducible across processes.
+        return set_index(block, self.config.num_sets)
 
     # ------------------------------------------------------------------
     # Access
@@ -74,18 +82,20 @@ class ConcreteCache:
         Speculative accesses update the cache exactly like normal ones —
         that is the whole point of the paper — but are counted separately.
         """
-        lru = self._sets[self._set_index(block)]
-        hit = block in lru
+        lines = self._sets[self._set_index(block)]
+        hit = block in lines
         if hit:
-            lru.remove(block)
-            lru.insert(0, block)
+            if self.config.policy == "lru":
+                lines.remove(block)
+                lines.insert(0, block)
+            # FIFO: a hit leaves the insertion order untouched.
             self.stats.hits += 1
             if speculative:
                 self.stats.speculative_hits += 1
         else:
-            lru.insert(0, block)
-            if len(lru) > self.config.ways:
-                lru.pop()
+            lines.insert(0, block)
+            if len(lines) > self.config.ways:
+                lines.pop()
             self.stats.misses += 1
             if speculative:
                 self.stats.speculative_misses += 1
@@ -96,14 +106,19 @@ class ConcreteCache:
         return block in self._sets[self._set_index(block)]
 
     def age_of(self, block: MemoryBlock) -> int | None:
-        """Return the LRU age (1 = youngest) of ``block`` or None if absent.
+        """Return the *within-set* age (1 = youngest) of ``block``, or
+        None if absent.
 
-        Only meaningful for fully associative configurations, where it is
-        directly comparable with the abstract state's ages.
+        The age is the block's position in its own set's replacement
+        order, bounded by ``config.ways`` — exactly the quantity the
+        per-set abstract domain bounds, for every geometry.  It is *not*
+        a global recency rank: two blocks in different sets have
+        incomparable ages.  Soundness checks must compare it against the
+        abstract state's (equally per-set) age of the same block only.
         """
-        lru = self._sets[self._set_index(block)]
+        lines = self._sets[self._set_index(block)]
         try:
-            return lru.index(block) + 1
+            return lines.index(block) + 1
         except ValueError:
             return None
 

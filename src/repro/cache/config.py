@@ -6,6 +6,12 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigError
 
+#: Replacement policies understood by both the concrete simulator and the
+#: abstract domain.  ``lru`` refreshes a line's position on every hit;
+#: ``fifo`` (round-robin) keeps the insertion order — a hit does not
+#: refresh the line, so even hot lines are eventually evicted.
+REPLACEMENT_POLICIES = ("lru", "fifo")
+
 
 @dataclass(frozen=True)
 class CacheConfig:
@@ -14,9 +20,18 @@ class CacheConfig:
     The paper's evaluation platform is an Alpha 21264-style 32-KB data
     cache: 512 lines of 64 bytes, fully associative, LRU replacement —
     which is the default here.  ``associativity=None`` means fully
-    associative; the abstract analysis always models the cache as fully
-    associative (a sound choice the paper also makes), while the concrete
-    simulator honours set associativity when it is given.
+    associative.
+
+    Geometry is honoured on *both* sides of the soundness argument: the
+    concrete simulator keeps one replacement list per set, and the
+    abstract analysis runs the age-bound domain per set (with
+    ``ways`` lines each) over the same deterministic set-placement
+    function (:mod:`repro.cache.placement`).  Note that modelling a
+    set-associative cache as fully associative would **not** be a sound
+    shortcut for the must-analysis: two blocks that conflict in a small
+    set can evict each other while a fully-associative model still
+    promises both are cached (see ``tests/test_setassoc.py`` for the
+    direct-mapped counterexample).
     """
 
     num_lines: int = 512
@@ -24,6 +39,7 @@ class CacheConfig:
     associativity: int | None = None
     hit_latency: int = 2
     miss_penalty: int = 100
+    policy: str = "lru"
 
     def __post_init__(self) -> None:
         if self.num_lines <= 0:
@@ -40,6 +56,11 @@ class CacheConfig:
                     "num_lines must be a multiple of associativity "
                     f"({self.num_lines} % {self.associativity} != 0)"
                 )
+        if self.policy not in REPLACEMENT_POLICIES:
+            raise ConfigError(
+                f"unknown replacement policy {self.policy!r}; "
+                f"expected one of {REPLACEMENT_POLICIES}"
+            )
         if self.hit_latency < 0 or self.miss_penalty < 0:
             raise ConfigError("latencies must be non-negative")
 
@@ -57,12 +78,39 @@ class CacheConfig:
     def ways(self) -> int:
         return self.num_lines if self.associativity is None else self.associativity
 
+    @property
+    def is_fully_associative(self) -> bool:
+        return self.num_sets == 1
+
+    def describe(self) -> str:
+        """Short human-readable geometry/policy summary."""
+        ways = (
+            "fully associative"
+            if self.associativity is None
+            else f"{self.associativity}-way ({self.num_sets} sets)"
+        )
+        return (
+            f"{self.num_lines} x {self.line_size} B lines, "
+            f"{ways}, {self.policy.upper()}"
+        )
+
     @classmethod
     def paper_default(cls) -> "CacheConfig":
         """The configuration used throughout the paper's evaluation."""
         return cls(num_lines=512, line_size=64, associativity=None)
 
     @classmethod
-    def small(cls, num_lines: int = 4, line_size: int = 64) -> "CacheConfig":
+    def small(
+        cls,
+        num_lines: int = 4,
+        line_size: int = 64,
+        associativity: int | None = None,
+        policy: str = "lru",
+    ) -> "CacheConfig":
         """A tiny cache, handy for unit tests and the paper's figures."""
-        return cls(num_lines=num_lines, line_size=line_size, associativity=None)
+        return cls(
+            num_lines=num_lines,
+            line_size=line_size,
+            associativity=associativity,
+            policy=policy,
+        )

@@ -32,17 +32,18 @@ class ShadowCacheState:
     must: dict[MemoryBlock, int] = field(default_factory=dict)
     may: dict[MemoryBlock, int] = field(default_factory=dict)
     is_bottom: bool = False
+    policy: str = "lru"
 
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
-    def empty(cls, num_lines: int) -> "ShadowCacheState":
-        return cls(num_lines=num_lines)
+    def empty(cls, num_lines: int, policy: str = "lru") -> "ShadowCacheState":
+        return cls(num_lines=num_lines, policy=policy)
 
     @classmethod
-    def bottom(cls, num_lines: int) -> "ShadowCacheState":
-        return cls(num_lines=num_lines, is_bottom=True)
+    def bottom(cls, num_lines: int, policy: str = "lru") -> "ShadowCacheState":
+        return cls(num_lines=num_lines, is_bottom=True, policy=policy)
 
     # ------------------------------------------------------------------
     # Queries
@@ -86,9 +87,32 @@ class ShadowCacheState:
         return self.access_unknown_array(access.symbol, access.blocks)
 
     def access_block(self, block: MemoryBlock) -> "ShadowCacheState":
-        """Appendix B transfer for a statically known block."""
+        """Appendix B transfer for a statically known block (LRU), or the
+        FIFO transfer: a guaranteed hit leaves a FIFO queue untouched; a
+        possible miss may insert one new line at the front, so every must
+        bound grows by one, the accessed block becomes resident with the
+        weakest in-cache bound, and its shadow age drops to 1 (it may be
+        the front insertion).  The NYoung refinement is LRU reasoning and
+        is not applied to FIFO."""
         if self.is_bottom:
             return self
+        if self.policy == "fifo":
+            if block in self.must:
+                return self
+            new_must = {}
+            for other, age in self.must.items():
+                aged = age + 1
+                if aged <= self.num_lines:
+                    new_must[other] = aged
+            new_must[block] = self.num_lines
+            new_may = dict(self.may)
+            new_may[block] = 1
+            return ShadowCacheState(
+                num_lines=self.num_lines,
+                must=new_must,
+                may=new_may,
+                policy=self.policy,
+            )
         old_must_age = self.age(block)
         old_shadow_age = self.shadow_age(block)
 
@@ -127,7 +151,9 @@ class ShadowCacheState:
             else:
                 new_must[other] = must_age
         new_must[block] = 1
-        return ShadowCacheState(num_lines=self.num_lines, must=new_must, may=new_may)
+        return ShadowCacheState(
+            num_lines=self.num_lines, must=new_must, may=new_may, policy=self.policy
+        )
 
     def access_unknown(self, candidate_blocks: tuple[MemoryBlock, ...]) -> "ShadowCacheState":
         """Access whose target is one of ``candidate_blocks`` but unknown.
@@ -147,7 +173,9 @@ class ShadowCacheState:
         new_may = dict(self.may)
         for block in candidate_blocks:
             new_may[block] = 1
-        return ShadowCacheState(num_lines=self.num_lines, must=new_must, may=new_may)
+        return ShadowCacheState(
+            num_lines=self.num_lines, must=new_must, may=new_may, policy=self.policy
+        )
 
     def access_unknown_array(
         self, symbol: str, candidate_blocks: tuple[MemoryBlock, ...]
@@ -173,8 +201,16 @@ class ShadowCacheState:
                 for block in candidate_blocks:
                     new_may[block] = 1
                 return ShadowCacheState(
-                    num_lines=self.num_lines, must=dict(state.must), may=new_may
+                    num_lines=self.num_lines,
+                    must=dict(state.must),
+                    may=new_may,
+                    policy=self.policy,
                 )
+        if self.policy == "fifo":
+            # The age-bound refinement below reasons about LRU aging (a
+            # block only ages when a younger line is inserted in front of
+            # it); under FIFO fall back to the plain conservative rule.
+            return self.access_unknown(candidate_blocks)
         bound = max(self.must[placeholder] for placeholder in placeholders)
         placeholder_set = set(placeholders)
         new_must: dict[MemoryBlock, int] = {}
@@ -194,7 +230,9 @@ class ShadowCacheState:
         new_may = dict(self.may)
         for block in candidate_blocks:
             new_may[block] = 1
-        return ShadowCacheState(num_lines=self.num_lines, must=new_must, may=new_may)
+        return ShadowCacheState(
+            num_lines=self.num_lines, must=new_must, may=new_may, policy=self.policy
+        )
 
     # ------------------------------------------------------------------
     # Lattice operations
@@ -215,7 +253,9 @@ class ShadowCacheState:
         for block, age in self.may.items():
             existing = new_may.get(block)
             new_may[block] = age if existing is None else min(age, existing)
-        return ShadowCacheState(num_lines=self.num_lines, must=new_must, may=new_may)
+        return ShadowCacheState(
+            num_lines=self.num_lines, must=new_must, may=new_may, policy=self.policy
+        )
 
     def widen(self, previous: "ShadowCacheState") -> "ShadowCacheState":
         """Widen the must component (growing ages jump to infinity); the may
@@ -233,7 +273,12 @@ class ShadowCacheState:
                 continue
             else:
                 new_must[block] = age
-        return ShadowCacheState(num_lines=self.num_lines, must=new_must, may=dict(self.may))
+        return ShadowCacheState(
+            num_lines=self.num_lines,
+            must=new_must,
+            may=dict(self.may),
+            policy=self.policy,
+        )
 
     def leq(self, other: "ShadowCacheState") -> bool:
         self._check_compatible(other)
@@ -250,9 +295,11 @@ class ShadowCacheState:
         return True
 
     def _check_compatible(self, other: "ShadowCacheState") -> None:
-        if self.num_lines != other.num_lines:
+        if self.num_lines != other.num_lines or self.policy != other.policy:
             raise ValueError(
-                f"incompatible cache states: {self.num_lines} vs {other.num_lines} lines"
+                "incompatible cache states: "
+                f"{self.num_lines} lines/{self.policy} vs "
+                f"{other.num_lines} lines/{other.policy}"
             )
 
     # ------------------------------------------------------------------
@@ -264,6 +311,7 @@ class ShadowCacheState:
         return (
             self.num_lines == other.num_lines
             and self.is_bottom == other.is_bottom
+            and self.policy == other.policy
             and self.must == other.must
             and self.may == other.may
         )
@@ -273,6 +321,7 @@ class ShadowCacheState:
             (
                 self.num_lines,
                 self.is_bottom,
+                self.policy,
                 frozenset(self.must.items()),
                 frozenset(self.may.items()),
             )
@@ -284,3 +333,10 @@ class ShadowCacheState:
         must = ", ".join(f"{b}:{a}" for b, a in sorted(self.must.items(), key=lambda i: (i[1], str(i[0]))))
         may = ", ".join(f"∃{b}:{a}" for b, a in sorted(self.may.items(), key=lambda i: (i[1], str(i[0]))))
         return f"ShadowCacheState(must={{{must}}}, may={{{may}}})"
+
+    def describe(self) -> str:
+        """A Table-1-style listing of the must component, youngest first."""
+        if self.is_bottom:
+            return "⊥"
+        ordered = sorted(self.must.items(), key=lambda item: (item[1], str(item[0])))
+        return "{" + ", ".join(f"{block}@{age}" for block, age in ordered) + "}"

@@ -116,6 +116,11 @@ class AnalysisRequest:
         """Content-hash key identifying the full analysis run (memoised)."""
         key = self.__dict__.get("_result_key")
         if key is None:
+            # The cache config is digested via its full dataclass repr, so
+            # the key separates every geometry/policy axis (num_lines,
+            # associativity, replacement policy, latencies): two requests
+            # differing only in geometry can never alias in the LRU tier
+            # or in the persistent store.
             parts: list[object] = [
                 self.compile_key(), self.kind.value, self.resolved_cache_config
             ]

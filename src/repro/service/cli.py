@@ -10,7 +10,10 @@ Subcommands::
     repro stats        engine / scheduler / store statistics of a running daemon
 
 ``wcet``, ``sidechannel``, ``mitigate`` and ``stats`` accept ``--json``,
-printing machine-readable rows for CI and scripts.
+printing machine-readable rows for CI and scripts.  ``submit``, ``wcet``,
+``sidechannel`` and ``mitigate`` also accept ``--associativity N`` and
+``--policy {lru,fifo}`` to analyse against a set-associative and/or FIFO
+cache model instead of the paper's fully-associative LRU default.
 
 ``submit``, ``wcet`` and ``sidechannel`` are thin service clients: they
 build :class:`~repro.engine.request.AnalysisRequest` values locally and
@@ -116,13 +119,53 @@ def cmd_serve(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # repro submit
 # ----------------------------------------------------------------------
+def _geometry_override(args: argparse.Namespace, base):
+    """Apply the ``--associativity``/``--policy`` flags on top of ``base``.
+
+    Returns ``base`` unchanged when neither flag was given, so the
+    default requests hash to exactly the same cache keys as before.
+    """
+    from dataclasses import replace
+
+    overrides = {}
+    if getattr(args, "associativity", None) is not None:
+        overrides["associativity"] = (
+            None if args.associativity == 0 else args.associativity
+        )
+    if getattr(args, "policy", None) is not None:
+        overrides["policy"] = args.policy
+    return replace(base, **overrides) if overrides else base
+
+
+def _add_cache_geometry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--associativity", type=int, default=None,
+        help="cache ways per set (0 or omitted: fully associative)",
+    )
+    parser.add_argument(
+        "--policy", choices=["lru", "fifo"], default=None,
+        help="cache replacement policy (default: lru)",
+    )
+
+
 def _build_request(args: argparse.Namespace, source: str) -> AnalysisRequest:
     from repro.cache.config import CacheConfig
     from repro.speculation.config import SpeculationConfig
 
     cache_config = None
-    if args.num_lines is not None:
-        cache_config = CacheConfig(num_lines=args.num_lines, line_size=args.line_size)
+    if (
+        args.num_lines is not None
+        or args.associativity is not None
+        or args.policy is not None
+    ):
+        base = CacheConfig.paper_default()
+        cache_config = _geometry_override(
+            args,
+            CacheConfig(
+                num_lines=args.num_lines if args.num_lines is not None else base.num_lines,
+                line_size=args.line_size,
+            ),
+        )
     speculation = None
     if args.depth_miss is not None:
         depth_hit = args.depth_hit if args.depth_hit is not None else min(20, args.depth_miss)
@@ -191,14 +234,14 @@ def cmd_submit(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # repro wcet / repro sidechannel
 # ----------------------------------------------------------------------
-def _bench_requests(source: str, name: str):
+def _bench_requests(source: str, name: str, cache=None):
     """The baseline + speculative request pair every comparison needs."""
     from repro.bench.tables import BENCH_CACHE, BENCH_SPECULATION
 
     common = dict(
         source=source,
         line_size=BENCH_CACHE.line_size,
-        cache_config=BENCH_CACHE,
+        cache_config=cache if cache is not None else BENCH_CACHE,
         label=name,
     )
     return (
@@ -220,6 +263,7 @@ def cmd_wcet(args: argparse.Namespace) -> int:
         )
         return 2
 
+    cache = _geometry_override(args, BENCH_CACHE)
     backend = _backend(args)
     rows = []
     try:
@@ -227,7 +271,7 @@ def cmd_wcet(args: argparse.Namespace) -> int:
             source = wcet_benchmark_source(
                 name, BENCH_CACHE.num_lines, BENCH_CACHE.line_size
             )
-            base_req, spec_req = _bench_requests(source, name)
+            base_req, spec_req = _bench_requests(source, name, cache)
             rows.append((name, backend.analyze(base_req), backend.analyze(spec_req)))
     finally:
         backend.close()
@@ -235,12 +279,15 @@ def cmd_wcet(args: argparse.Namespace) -> int:
     from repro.apps.wcet import estimated_cycles
 
     def cycles(wire: dict) -> int:
-        return estimated_cycles(wire["must_hits"], wire["misses"], BENCH_CACHE)
+        return estimated_cycles(wire["must_hits"], wire["misses"], cache)
 
     if args.json:
+        from repro.service.wire import cache_config_to_wire
+
         payload = [
             {
                 "name": name,
+                "cache_config": cache_config_to_wire(cache),
                 "access_sites": base["access_sites"],
                 "base_misses": base["misses"],
                 "spec_misses": spec["misses"],
@@ -254,6 +301,8 @@ def cmd_wcet(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
 
+    if cache is not BENCH_CACHE:
+        print(f"cache: {cache.describe()}")
     print(f"{'name':10s} {'#acc':>5s} {'base miss':>9s} {'spec miss':>9s} "
           f"{'#SpMiss':>7s} {'base cyc':>9s} {'spec cyc':>9s}")
     for name, base, spec in rows:
@@ -280,6 +329,7 @@ def cmd_sidechannel(args: argparse.Namespace) -> int:
         )
         return 2
 
+    cache = _geometry_override(args, BENCH_CACHE)
     backend = _backend(args)
     rows = []
     try:
@@ -289,7 +339,7 @@ def cmd_sidechannel(args: argparse.Namespace) -> int:
             source = build_client_source(
                 kernel, buffer_bytes, line_size=BENCH_CACHE.line_size
             )
-            base_req, spec_req = _bench_requests(source, name)
+            base_req, spec_req = _bench_requests(source, name, cache)
             rows.append(
                 (name, buffer_bytes, backend.analyze(base_req), backend.analyze(spec_req))
             )
@@ -307,9 +357,12 @@ def cmd_sidechannel(args: argparse.Namespace) -> int:
         )
 
     if args.json:
+        from repro.service.wire import cache_config_to_wire
+
         payload = [
             {
                 "name": name,
+                "cache_config": cache_config_to_wire(cache),
                 "buffer_bytes": buffer_bytes,
                 "base_leak": base["leak_detected"],
                 "spec_leak": spec["leak_detected"],
@@ -324,6 +377,8 @@ def cmd_sidechannel(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
 
+    if cache is not BENCH_CACHE:
+        print(f"cache: {cache.describe()}")
     print(f"{'kernel':10s} {'buffer':>7s} {'base':>6s} {'spec':>6s}")
     for name, buffer_bytes, base, spec in rows:
         base_leak = "leak" if base["leak_detected"] else "-"
@@ -342,6 +397,7 @@ def cmd_mitigate(args: argparse.Namespace) -> int:
     from repro.bench.crypto import CRYPTO_BENCHMARKS
     from repro.bench.tables import BENCH_CACHE, BENCH_SPECULATION, table7_client_request
 
+    cache = _geometry_override(args, BENCH_CACHE)
     requests: list[AnalysisRequest] = []
     if args.source is not None:
         if args.kernels:
@@ -353,7 +409,7 @@ def cmd_mitigate(args: argparse.Namespace) -> int:
             AnalysisRequest.speculative(
                 source,
                 line_size=BENCH_CACHE.line_size,
-                cache_config=BENCH_CACHE,
+                cache_config=cache,
                 speculation=BENCH_SPECULATION,
                 label=args.source,
             )
@@ -367,7 +423,7 @@ def cmd_mitigate(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        requests.extend(table7_client_request(name) for name in names)
+        requests.extend(table7_client_request(name, cache) for name in names)
 
     backend = _backend(args)
     mitigations: list[dict] = []
@@ -395,9 +451,15 @@ def cmd_mitigate(args: argparse.Namespace) -> int:
                 handle.write(chosen["patched_source"])
 
     if args.json:
+        from repro.service.wire import cache_config_to_wire
+
+        for wire in mitigations:
+            wire.setdefault("cache_config", cache_config_to_wire(cache))
         print(json.dumps(mitigations, indent=2, sort_keys=True))
         return 0
 
+    if cache is not BENCH_CACHE:
+        print(f"cache: {cache.describe()}")
     print(f"{'kernel':10s} {'leaks':>5s} {'chosen':>9s} {'fences':>6s} "
           f"{'baseline':>8s} {'overhead':>8s} {'verified':>8s}")
     for wire in mitigations:
@@ -495,6 +557,7 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--line-size", type=int, default=64)
     submit.add_argument("--num-lines", type=int, default=None,
                         help="cache lines (default: the paper's 512)")
+    _add_cache_geometry_args(submit)
     submit.add_argument("--depth-miss", type=int, default=None,
                         help="speculation depth bound bm")
     submit.add_argument("--depth-hit", type=int, default=None,
@@ -510,6 +573,7 @@ def build_parser() -> argparse.ArgumentParser:
     wcet.add_argument("benchmarks", nargs="*")
     wcet.add_argument("--json", action="store_true",
                       help="print machine-readable rows")
+    _add_cache_geometry_args(wcet)
     _add_connection_args(wcet)
     wcet.set_defaults(func=cmd_wcet)
 
@@ -518,6 +582,7 @@ def build_parser() -> argparse.ArgumentParser:
     sidechannel.add_argument("kernels", nargs="*")
     sidechannel.add_argument("--json", action="store_true",
                              help="print machine-readable rows")
+    _add_cache_geometry_args(sidechannel)
     _add_connection_args(sidechannel)
     sidechannel.set_defaults(func=cmd_sidechannel)
 
@@ -535,6 +600,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write each chosen patched source to this directory")
     mitigate.add_argument("--json", action="store_true",
                           help="print machine-readable results")
+    _add_cache_geometry_args(mitigate)
     _add_connection_args(mitigate)
     mitigate.set_defaults(func=cmd_mitigate)
 
@@ -547,11 +613,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.errors import ConfigError
     from repro.mitigation import MitigationError
 
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except ConfigError as error:
+        print(f"repro: invalid cache configuration: {error}", file=sys.stderr)
+        return 2
     except MitigationError as error:
         print(f"repro: unmitigable: {error}", file=sys.stderr)
         return 3

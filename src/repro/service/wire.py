@@ -46,6 +46,7 @@ def cache_config_to_wire(config: CacheConfig) -> dict:
         "associativity": config.associativity,
         "hit_latency": config.hit_latency,
         "miss_penalty": config.miss_penalty,
+        "policy": config.policy,
     }
 
 
@@ -58,6 +59,7 @@ def cache_config_from_wire(data: Mapping[str, Any]) -> CacheConfig:
         ),
         hit_latency=int(data.get("hit_latency", 2)),
         miss_penalty=int(data.get("miss_penalty", 100)),
+        policy=str(data.get("policy", "lru")),
     )
 
 
