@@ -1,0 +1,64 @@
+"""Repository-level pytest configuration: the per-test timeout.
+
+Both fixpoint engines are guarded by ``MAX_VISITS``, but a genuinely
+divergent transfer function (or a deadlocked service test) can still burn
+minutes before that guard trips.  Every test therefore runs under a
+wall-clock alarm; exceeding it raises ``TimeoutError`` inside the test,
+which fails fast with a normal traceback instead of hanging the job.
+
+The timeout defaults to 300 seconds (far above the slowest legitimate
+test) and can be tuned per run::
+
+    pytest --per-test-timeout=120    # CI tier-1 uses this
+    pytest --per-test-timeout=0      # disable (e.g. when debugging)
+
+Implemented with ``SIGALRM``, so it is active on POSIX main-thread runs
+only — exactly the environments the tier-1 suite targets.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--per-test-timeout",
+        type=float,
+        default=float(os.environ.get("REPRO_TEST_TIMEOUT", "300")),
+        help="fail any single test exceeding this many wall-clock seconds "
+        "(0 disables; default 300, or the REPRO_TEST_TIMEOUT env var)",
+    )
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_protocol(item, nextitem):
+    # Wraps the whole protocol (setup + call + teardown), not just the
+    # call phase: the service tests start their daemon in fixtures, and a
+    # deadlock there must fail just as fast as one inside the test body.
+    timeout = item.config.getoption("--per-test-timeout")
+    supported = (
+        timeout
+        and timeout > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not supported:
+        return (yield)
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded the per-test timeout of {timeout:g}s"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

@@ -29,6 +29,38 @@ edges of Section 5.1:
 4. *Conversion* (``vn_stop — n``): resume slots flowing into the
    scenario's convergence block are joined into the normal state there and
    stop propagating.
+
+Execution modes
+---------------
+
+``mode="sparse"`` (the default) is a delta-driven scheduler: every block
+carries a *dirty set* of slots whose inputs changed since the block was
+last processed, and a visit re-transfers only those slots.  The pop
+schedule is identical to the dense engine's by construction — a delivery
+whose inputs did not change re-joins a value that is already below the
+target state, so skipping it changes neither the states nor the set of
+blocks re-enqueued — which makes the sparse results bit-identical to the
+dense ones, widening timing included.
+
+``mode="dense"`` is the original engine, retained as the differential
+reference: every visit re-transfers the normal state and *all* slots at
+the block, paying O(#slots-at-block) per pop regardless of what changed.
+
+``scenario_shards >= 2`` runs the scenario-sharded scheduler: colors are
+partitioned round-robin into shards, and the solver alternates an *outer
+normal-state fixpoint* (no scenarios) with per-shard sparse fixpoints,
+each shard working against a private copy of the normal states whose
+changes are joined back deterministically after every round.  Shards
+only interact through the normal states, so the rounds are a chaotic
+iteration of the same equation system and converge to the same least
+fixpoint for every shard count — the shard runs can therefore execute on
+worker threads (``shard_threads=True``) without changing the result.
+The sharded scheduler computes the *exact* join-fixpoint: widening is an
+acceleration whose effect depends on the visit schedule, so applying it
+per-shard would make the result depend on the shard count.  The cache
+lattices are finite, so termination does not need it; on programs where
+the canonical engine's widening fires (rare — deep unrolled loops), the
+sharded result can be strictly more precise.
 """
 
 from __future__ import annotations
@@ -84,6 +116,24 @@ class SpeculativeFixpoint:
     widenings: int = 0
 
 
+@dataclass
+class _Shard:
+    """One group of colors plus the per-shard solver state that persists
+    across outer rounds of the sharded scheduler."""
+
+    index: int
+    scenarios: list[SpeculationScenario]
+    scenarios_by_branch: dict[str, list[SpeculationScenario]]
+    chooser: DepthChooser
+    slots: dict[str, dict[SlotKey, object]]
+    dirty: dict[str, set]
+    visits: dict[str, int]
+
+    @property
+    def branch_blocks(self) -> set[str]:
+        return set(self.scenarios_by_branch)
+
+
 class SpeculativeCacheAnalysis:
     """The lifted analysis engine."""
 
@@ -92,21 +142,97 @@ class SpeculativeCacheAnalysis:
         program: CompiledProgram,
         cache_config: CacheConfig | None = None,
         speculation: SpeculationConfig | None = None,
+        mode: str = "sparse",
+        scenario_shards: int = 1,
+        shard_threads: bool = False,
     ):
+        if mode not in ("sparse", "dense"):
+            raise ValueError(f"unknown engine mode {mode!r}")
         self.program = program
         self.cfg = program.cfg
         self.layout = program.layout
         self.cache_config = cache_config or CacheConfig.paper_default()
         self.speculation = speculation or SpeculationConfig.paper_default()
+        self.mode = mode
+        self.scenario_shards = max(1, int(scenario_shards))
+        self.shard_threads = shard_threads
         self.vcfg: VirtualCFG = build_vcfg(self.cfg, self.speculation)
         self.table = AccessTable(self.cfg, self.layout)
         self.chooser = DepthChooser(self.speculation, self.layout)
         self.secret_symbols = set(program.info.secret_symbols)
         self._use_shadow = self.speculation.use_shadow_state
         self._bottom = new_bottom_state(self.cache_config, self._use_shadow)
+        # ------------------------------------------------------------------
+        # Precomputed per-block indices (the sparse engine's substrate):
+        # which scenarios inject at a block, O(1) color -> scenario lookup,
+        # and which window/resume slots can ever be live at a block.
+        # These deliberately *snapshot* the vcfg's scenarios rather than
+        # going through VirtualCFG's (mutation-aware) lookups: the solver
+        # needs a stable view for the whole run, independent of anything
+        # external code does to vcfg.scenarios meanwhile.
+        # ------------------------------------------------------------------
+        self._scenario_by_color: dict[int, SpeculationScenario] = {
+            scenario.color: scenario for scenario in self.vcfg.scenarios
+        }
         self._scenarios_by_branch: dict[str, list[SpeculationScenario]] = {}
         for scenario in self.vcfg.scenarios:
             self._scenarios_by_branch.setdefault(scenario.branch_block, []).append(scenario)
+        # The slot-placement indices cost an O(#scenarios x window-size)
+        # sweep plus a per-scenario CFG walk, and only introspection needs
+        # them — built on first possible_slot_colors() call.
+        self._window_colors: dict[str, frozenset[int]] | None = None
+        self._resume_colors: dict[str, frozenset[int]] | None = None
+
+    # ------------------------------------------------------------------
+    # Slot-placement indices
+    # ------------------------------------------------------------------
+    def _index_window_colors(self) -> dict[str, frozenset[int]]:
+        """Inverse of the per-scenario window-membership sets: for every
+        block, the colors whose ``bm`` window contains it.  The active
+        window is always a subset of ``window_miss``, so this is a sound
+        upper bound on the window slots that can live at the block."""
+        by_block: dict[str, set[int]] = {}
+        for scenario in self.vcfg.scenarios:
+            for block in scenario.window_miss.allowed:
+                by_block.setdefault(block, set()).add(scenario.color)
+        return {block: frozenset(colors) for block, colors in by_block.items()}
+
+    def _index_resume_colors(self) -> dict[str, frozenset[int]]:
+        """For every block, the colors whose resume slots can reach it: the
+        blocks reachable from the scenario's correct target along CFG edges
+        that do not enter the convergence block (where the slot converts
+        back into S and stops).  Empty when the merge strategy converts at
+        the rollback target (no resume slots exist at all)."""
+        by_block: dict[str, set[int]] = {}
+        strategy = self.speculation.merge_strategy
+        if not strategy.convert_at_merge_point:
+            return {}
+        for scenario in self.vcfg.scenarios:
+            convergence = scenario.convergence_block
+            if convergence is None or convergence == scenario.correct_target:
+                continue
+            seen = {scenario.correct_target}
+            stack = [scenario.correct_target]
+            while stack:
+                block = stack.pop()
+                by_block.setdefault(block, set()).add(scenario.color)
+                for successor in self.cfg.successors(block):
+                    if successor != convergence and successor not in seen:
+                        seen.add(successor)
+                        stack.append(successor)
+        return {block: frozenset(colors) for block, colors in by_block.items()}
+
+    def possible_slot_colors(self, block: str) -> tuple[frozenset[int], frozenset[int]]:
+        """(window colors, resume colors) that can ever be live at ``block``."""
+        if self._window_colors is None:
+            self._window_colors = self._index_window_colors()
+        if self._resume_colors is None:
+            self._resume_colors = self._index_resume_colors()
+        empty: frozenset[int] = frozenset()
+        return (
+            self._window_colors.get(block, empty),
+            self._resume_colors.get(block, empty),
+        )
 
     # ------------------------------------------------------------------
     # Public API
@@ -132,16 +258,344 @@ class SpeculativeCacheAnalysis:
         return result
 
     # ------------------------------------------------------------------
-    # Fixpoint
+    # Fixpoint dispatch
     # ------------------------------------------------------------------
     def solve(self) -> SpeculativeFixpoint:
-        cfg = self.cfg
-        reachable = cfg.reachable_blocks()
-        order = {name: position for position, name in enumerate(cfg.reverse_postorder())}
-        policy = WideningPolicy(
-            points={loop.header for loop in find_natural_loops(cfg)},
+        if self.mode == "dense":
+            return self._solve_dense()
+        if self.scenario_shards >= 2:
+            # Always the exact-fixpoint scheduler, even for programs with
+            # fewer than two scenarios: a sharded request promises (and is
+            # result-keyed as) unwidened results, so falling back to the
+            # widened canonical engine here would break that contract.
+            return self._solve_sharded()
+        return self._solve_sparse()
+
+    def _schedule_order(self) -> dict[str, int]:
+        return {name: position for position, name in enumerate(self.cfg.reverse_postorder())}
+
+    def _widening_policy(self) -> WideningPolicy:
+        return WideningPolicy(
+            points={loop.header for loop in find_natural_loops(self.cfg)},
             delay=WIDENING_DELAY,
         )
+
+    # ------------------------------------------------------------------
+    # Sparse (delta-driven) fixpoint — the default engine
+    # ------------------------------------------------------------------
+    def _solve_sparse(self) -> SpeculativeFixpoint:
+        cfg = self.cfg
+        reachable = cfg.reachable_blocks()
+        order = self._schedule_order()
+        policy = self._widening_policy()
+
+        normal: dict[str, object] = {name: self._bottom for name in reachable}
+        normal[cfg.entry] = new_entry_state(self.cache_config, self._use_shadow)
+        speculative: dict[str, dict[SlotKey, object]] = {name: {} for name in reachable}
+        visits: dict[str, int] = {name: 0 for name in reachable}
+        dirty: dict[str, set] = {name: set() for name in reachable}
+        dirty[cfg.entry].add(None)
+
+        fixpoint = SpeculativeFixpoint(normal=normal, speculative=speculative)
+        fixpoint.iterations = self._run_sparse_pass(
+            normal=normal,
+            speculative=speculative,
+            dirty=dirty,
+            seeds=[cfg.entry],
+            order=order,
+            chooser=self.chooser,
+            scenarios_by_branch=self._scenarios_by_branch,
+            policy=policy,
+            visits=visits,
+            normal_changed=set(),
+            description="speculative fixpoint",
+        )
+        fixpoint.widenings = policy.widenings
+        return fixpoint
+
+    def _run_sparse_pass(
+        self,
+        normal: dict[str, object],
+        speculative: dict[str, dict[SlotKey, object]],
+        dirty: dict[str, set],
+        seeds,
+        order: dict[str, int],
+        chooser: DepthChooser | None,
+        scenarios_by_branch: dict[str, list[SpeculationScenario]],
+        policy: WideningPolicy,
+        visits: dict[str, int],
+        normal_changed: set[str],
+        description: str,
+    ) -> int:
+        """Drain one sparse fixpoint to convergence; returns the pop count.
+
+        Blocks whose normal state changed at least once are accumulated
+        into ``normal_changed`` (the sharded scheduler's join set)."""
+        worklist = PriorityWorklist(order, initial=seeds)
+
+        def step(name: str) -> set[str]:
+            visits[name] += 1
+            pending = dirty[name]
+            dirty[name] = set()
+            deliveries = self._process_block_sparse(
+                name,
+                pending,
+                normal,
+                speculative,
+                worklist.push,
+                dirty,
+                chooser,
+                scenarios_by_branch,
+            )
+            return self._apply_deliveries(
+                deliveries,
+                normal,
+                speculative,
+                policy,
+                visits,
+                dirty=dirty,
+                normal_changed=normal_changed,
+            )
+
+        return run_fixpoint(
+            worklist, step, max_visits=MAX_VISITS, description=description
+        )
+
+    def _process_block_sparse(
+        self,
+        name: str,
+        pending: set,
+        normal: dict[str, object],
+        speculative: dict[str, dict[SlotKey, object]],
+        requeue,
+        dirty: dict[str, set],
+        chooser: DepthChooser | None,
+        scenarios_by_branch: dict[str, list[SpeculationScenario]],
+    ) -> list[_Delivery]:
+        deliveries: list[_Delivery] = []
+        successors = self.cfg.successors(name)
+        state_in = normal[name]
+        normal_dirty = None in pending
+
+        # --- normal transfer and propagation (only when S[n] changed) ------
+        state_out = None
+        if normal_dirty:
+            state_out = transfer_block(state_in, self.table, name)
+            for successor in successors:
+                deliveries.append(_Delivery(successor, None, state_out))
+
+        # --- dirty speculative slots, in slot-creation order ----------------
+        # Iterating the slot dict (not the pending set) keeps the delivery
+        # order independent of hash randomisation and identical to the dense
+        # engine's relative order.  Slots marked dirty before any state
+        # reached them are still bottom and are skipped, exactly as the
+        # dense engine skips bottom slots.
+        if pending:
+            slots_in = speculative[name]
+            for slot, slot_state in slots_in.items():
+                if slot not in pending or getattr(slot_state, "is_bottom", False):
+                    continue
+                if slot[0] == "window":
+                    deliveries.extend(
+                        self._process_window_slot(
+                            name, slot, slot_state, successors, chooser
+                        )
+                    )
+                else:
+                    deliveries.extend(
+                        self._process_resume_slot(name, slot, slot_state, successors)
+                    )
+
+        # --- scenario injection at branch blocks ----------------------------
+        # The window (re-)choice runs on every pop, mirroring the dense
+        # engine: it is what keeps the chooser's active windows and the
+        # window-growth requeues on the same schedule.  The injection
+        # delivery itself only carries a new value when S[n] changed — the
+        # dense engine's unconditional re-delivery is a join no-op then.
+        for scenario in scenarios_by_branch.get(name, ()):
+            previous_window = chooser.active_window(scenario)
+            window = chooser.choose(scenario, state_in)
+            if window.depth > previous_window.depth:
+                # The window grew (the condition is no longer a proven hit):
+                # re-propagate from every block of the old window, and mark
+                # the scenario's window slot dirty there so the re-transfer
+                # runs against the new window's limits and successor set.
+                slot = ("window", scenario.color)
+                for block in previous_window.allowed:
+                    if block in normal:
+                        requeue(block)
+                        dirty[block].add(slot)
+            if not normal_dirty:
+                continue
+            if window.depth <= 0 or not window.contains(scenario.wrong_target):
+                continue
+            deliveries.append(
+                _Delivery(scenario.wrong_target, ("window", scenario.color), state_out)
+            )
+        return deliveries
+
+    # ------------------------------------------------------------------
+    # Scenario-sharded fixpoint
+    # ------------------------------------------------------------------
+    def _solve_sharded(self) -> SpeculativeFixpoint:
+        cfg = self.cfg
+        reachable = cfg.reachable_blocks()
+        order = self._schedule_order()
+        # Exact fixpoint: no widening (see the module docstring).
+        no_widening = WideningPolicy(points=frozenset(), delay=WIDENING_DELAY)
+
+        normal: dict[str, object] = {name: self._bottom for name in reachable}
+        normal[cfg.entry] = new_entry_state(self.cache_config, self._use_shadow)
+        visits: dict[str, int] = {name: 0 for name in reachable}
+        normal_dirty: dict[str, set] = {name: set() for name in reachable}
+
+        shards = self._build_shards(reachable)
+        fixpoint = SpeculativeFixpoint(normal=normal)
+        iterations = 0
+
+        pending_normal: set[str] = {cfg.entry}
+        # The entry state is non-bottom from the start, so the entry block
+        # counts as "changed" for the first shard round even though no
+        # delivery ever touches it.
+        delta_for_shards: set[str] = {cfg.entry}
+        no_slots: dict[str, dict[SlotKey, object]] = {name: {} for name in reachable}
+        while True:
+            # Phase 1: outer normal-state fixpoint (scenarios excluded).
+            phase1_changed: set[str] = set()
+            if pending_normal:
+                for block in pending_normal:
+                    normal_dirty[block].add(None)
+                iterations += self._run_sparse_pass(
+                    normal=normal,
+                    speculative=no_slots,
+                    dirty=normal_dirty,
+                    seeds=sorted(pending_normal, key=lambda b: order.get(b, 0)),
+                    order=order,
+                    chooser=None,
+                    scenarios_by_branch={},
+                    policy=no_widening,
+                    visits=visits,
+                    normal_changed=phase1_changed,
+                    description="sharded speculative fixpoint (normal phase)",
+                )
+                pending_normal = set()
+            delta_for_shards |= phase1_changed
+            # Phase 2: per-shard sparse fixpoints against private copies of S.
+            seeded = [
+                shard
+                for shard in shards
+                if delta_for_shards & shard.branch_blocks
+                or any(shard.dirty[name] for name in shard.dirty)
+            ]
+            if not seeded:
+                break
+            delta = delta_for_shards
+            delta_for_shards = set()
+            runs = self._run_shards(seeded, normal, delta, order, no_widening)
+            iterations += sum(pops for pops, _, _ in runs)
+            # Phase 3: deterministic join of the shard-local normal states.
+            joined_delta: set[str] = set()
+            for _, local_normal, local_changed in runs:
+                for block in sorted(local_changed, key=lambda b: order.get(b, 0)):
+                    current = normal[block]
+                    joined = current.join(local_normal[block])
+                    if not joined.leq(current):
+                        normal[block] = joined
+                        joined_delta.add(block)
+            if not joined_delta:
+                break
+            pending_normal = joined_delta
+            delta_for_shards = set(joined_delta)
+
+        # Merge the per-shard slot dictionaries and window decisions back
+        # into the engine-level views used by classification.
+        speculative: dict[str, dict[SlotKey, object]] = {name: {} for name in reachable}
+        for shard in shards:
+            for name, slots in shard.slots.items():
+                if slots:
+                    speculative[name].update(slots)
+            self.chooser.absorb(shard.chooser)
+        fixpoint.speculative = speculative
+        fixpoint.iterations = iterations
+        fixpoint.widenings = 0
+        return fixpoint
+
+    def _build_shards(self, reachable: list[str]) -> list[_Shard]:
+        scenarios = self.vcfg.scenarios
+        count = max(1, min(self.scenario_shards, len(scenarios)))
+        shards: list[_Shard] = []
+        for index in range(count):
+            members = scenarios[index::count]
+            by_branch: dict[str, list[SpeculationScenario]] = {}
+            for scenario in members:
+                by_branch.setdefault(scenario.branch_block, []).append(scenario)
+            shards.append(
+                _Shard(
+                    index=index,
+                    scenarios=members,
+                    scenarios_by_branch=by_branch,
+                    chooser=DepthChooser(self.speculation, self.layout),
+                    slots={name: {} for name in reachable},
+                    dirty={name: set() for name in reachable},
+                    visits={name: 0 for name in reachable},
+                )
+            )
+        return shards
+
+    def _run_shards(
+        self,
+        shards: list[_Shard],
+        normal: dict[str, object],
+        delta: set[str],
+        order: dict[str, int],
+        policy: WideningPolicy,
+    ) -> list[tuple[int, dict[str, object], set[str]]]:
+        """Run one round of shard fixpoints; returns per-shard
+        (pops, local normal states, blocks whose local normal changed),
+        in shard order regardless of execution interleaving."""
+
+        def run_one(shard: _Shard) -> tuple[int, dict[str, object], set[str]]:
+            local_normal = dict(normal)
+            seeds = []
+            for block in sorted(
+                delta & shard.branch_blocks, key=lambda b: order.get(b, 0)
+            ):
+                shard.dirty[block].add(None)
+            for block in shard.dirty:
+                if shard.dirty[block]:
+                    seeds.append(block)
+            seeds.sort(key=lambda b: order.get(b, 0))
+            local_changed: set[str] = set()
+            pops = self._run_sparse_pass(
+                normal=local_normal,
+                speculative=shard.slots,
+                dirty=shard.dirty,
+                seeds=seeds,
+                order=order,
+                chooser=shard.chooser,
+                scenarios_by_branch=shard.scenarios_by_branch,
+                policy=policy,
+                visits=shard.visits,
+                normal_changed=local_changed,
+                description=f"sharded speculative fixpoint (shard {shard.index})",
+            )
+            return pops, local_normal, local_changed
+
+        if self.shard_threads and len(shards) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+                return list(pool.map(run_one, shards))
+        return [run_one(shard) for shard in shards]
+
+    # ------------------------------------------------------------------
+    # Dense fixpoint — the retained differential-reference engine
+    # ------------------------------------------------------------------
+    def _solve_dense(self) -> SpeculativeFixpoint:
+        cfg = self.cfg
+        reachable = cfg.reachable_blocks()
+        order = self._schedule_order()
+        policy = self._widening_policy()
 
         normal: dict[str, object] = {name: self._bottom for name in reachable}
         normal[cfg.entry] = new_entry_state(self.cache_config, self._use_shadow)
@@ -212,12 +666,20 @@ class SpeculativeCacheAnalysis:
             )
         return deliveries
 
+    # ------------------------------------------------------------------
+    # Shared slot transfers
+    # ------------------------------------------------------------------
     def _process_window_slot(
-        self, name: str, slot: SlotKey, slot_state, successors: list[str]
+        self,
+        name: str,
+        slot: SlotKey,
+        slot_state,
+        successors: list[str],
+        chooser: DepthChooser | None = None,
     ) -> list[_Delivery]:
         deliveries: list[_Delivery] = []
-        scenario = self.vcfg.scenario(slot[1])
-        window = self.chooser.active_window(scenario)
+        scenario = self._scenario_by_color[slot[1]]
+        window = (chooser or self.chooser).active_window(scenario)
         if not window.contains(name):
             return deliveries
         limit = window.allowed_instructions(name)
@@ -254,7 +716,7 @@ class SpeculativeCacheAnalysis:
         self, name: str, slot: SlotKey, slot_state, successors: list[str]
     ) -> list[_Delivery]:
         deliveries: list[_Delivery] = []
-        scenario = self.vcfg.scenario(slot[1])
+        scenario = self._scenario_by_color[slot[1]]
         convergence = scenario.convergence_block
         slot_out = transfer_block(slot_state, self.table, name)
         for successor in successors:
@@ -273,6 +735,8 @@ class SpeculativeCacheAnalysis:
         speculative: dict[str, dict[SlotKey, object]],
         policy: WideningPolicy,
         visits: dict[str, int],
+        dirty: dict[str, set] | None = None,
+        normal_changed: set[str] | None = None,
     ) -> set[str]:
         changed: set[str] = set()
         for delivery in deliveries:
@@ -287,6 +751,10 @@ class SpeculativeCacheAnalysis:
                 if not joined.leq(current):
                     normal[target] = joined
                     changed.add(target)
+                    if dirty is not None:
+                        dirty[target].add(None)
+                    if normal_changed is not None:
+                        normal_changed.add(target)
             else:
                 slots = speculative[target]
                 current = slots.get(delivery.slot, self._bottom)
@@ -294,6 +762,8 @@ class SpeculativeCacheAnalysis:
                 if not joined.leq(current):
                     slots[delivery.slot] = joined
                     changed.add(target)
+                    if dirty is not None:
+                        dirty[target].add(delivery.slot)
         return changed
 
     # ------------------------------------------------------------------

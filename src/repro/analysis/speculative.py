@@ -25,12 +25,20 @@ def analyze_speculative(
     depth_hit: int | None = None,
     dynamic_depth_bounding: bool | None = None,
     use_shadow_state: bool | None = None,
+    scenario_shards: int = 1,
+    shard_threads: bool = False,
 ) -> CacheAnalysisResult:
     """Run the speculation-sound must-hit analysis on ``program``.
 
     Either pass a full :class:`SpeculationConfig`, or override individual
     knobs (merge strategy, ``bm``/``bh`` depths, dynamic bounding, shadow
     state); unspecified knobs keep the paper's defaults.
+
+    ``scenario_shards >= 2`` selects the scenario-sharded scheduler
+    (groups of colors solved against an outer normal-state fixpoint loop,
+    optionally on worker threads); see
+    :class:`repro.analysis.multicolor.SpeculativeCacheAnalysis` for its
+    exact-fixpoint semantics.
     """
     config = speculation or SpeculationConfig.paper_default()
     if merge_strategy is not None:
@@ -55,6 +63,10 @@ def analyze_speculative(
             ),
         )
     engine = SpeculativeCacheAnalysis(
-        program, cache_config=cache_config, speculation=config
+        program,
+        cache_config=cache_config,
+        speculation=config,
+        scenario_shards=scenario_shards,
+        shard_threads=shard_threads,
     )
     return engine.run()

@@ -579,3 +579,41 @@ def wcet_benchmark_source(name: str, num_lines: int = 64, line_size: int = 64) -
             f"unknown WCET benchmark {name!r}; known: {sorted(WCET_BENCHMARKS)}"
         ) from exc
     return generator(num_lines, line_size)
+
+
+# ----------------------------------------------------------------------
+# Scenario-scaling kernels
+# ----------------------------------------------------------------------
+def branchy_kernel_source(num_branches: int, line_size: int = 64) -> str:
+    """A straight-line sequence of ``num_branches`` data-dependent diamonds.
+
+    Every branch condition loads from its own (uncached) array, so each
+    branch is a *may-miss* condition and contributes two full-depth
+    speculation scenarios; the branch bodies alternate over four shared
+    arrays so the abstract states stay small.  The result is a kernel
+    whose scenario count — and, with overlapping windows, per-block slot
+    population — scales linearly with ``num_branches`` while every other
+    dimension stays fixed: exactly the workload that separates a
+    scheduler paying O(#scenarios) per block visit from a sparse one.
+
+    Used by ``benchmarks/bench_scenario_scaling.py`` and the engine's
+    differential tests; not part of any paper table.
+    """
+    if num_branches < 1:
+        raise ValueError("num_branches must be positive")
+    decls = [f"char cond{i}[{line_size}];" for i in range(num_branches)]
+    decls.append(
+        f"char tka[{line_size}]; char tkb[{line_size}]; "
+        f"char ela[{line_size}]; char elb[{line_size}];"
+    )
+    body = []
+    for i in range(num_branches):
+        taken = "tka" if i % 2 == 0 else "tkb"
+        fallthrough = "ela" if i % 2 == 0 else "elb"
+        body.append(f"  if (cond{i}[0]) {{ {taken}[0]; }} else {{ {fallthrough}[0]; }}")
+    return (
+        "\n".join(decls)
+        + "\n\nint main() {\n"
+        + "\n".join(body)
+        + "\n  return 0;\n}\n"
+    )

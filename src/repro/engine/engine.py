@@ -71,6 +71,7 @@ def execute_request(
         program,
         cache_config=request.cache_config,
         speculation=request.speculation,
+        scenario_shards=request.scenario_shards,
     )
 
 

@@ -32,6 +32,16 @@ class AnalysisRequest:
     the speculative analysis reads the flag from its
     :class:`SpeculationConfig`.  ``label`` is carried through for
     reporting and never affects caching.
+
+    ``scenario_shards`` selects the speculative engine's scheduler: 1 (the
+    default) is the canonical sparse fixpoint, >= 2 partitions the
+    speculation scenarios into that many shards solved around an outer
+    normal-state fixpoint loop (see
+    :mod:`repro.analysis.multicolor`).  It only affects
+    :data:`AnalysisKind.SPECULATIVE` runs, and participates in the result
+    key: the sharded scheduler computes the exact (unwidened) fixpoint,
+    whose iteration counts — and, on widening-active programs,
+    classifications — legitimately differ from the canonical engine's.
     """
 
     source: str
@@ -44,6 +54,7 @@ class AnalysisRequest:
     unroll: bool = True
     inline: bool = True
     max_unroll_iterations: int = 4096
+    scenario_shards: int = 1
     label: str | None = field(default=None, compare=False)
 
     # ------------------------------------------------------------------
@@ -128,6 +139,16 @@ class AnalysisRequest:
                 parts.append(self.use_shadow_state)
             else:
                 parts.append(self.resolved_speculation)
+                # Only sharded runs extend the key: default requests keep
+                # their historical keys, so persistent stores written
+                # before the knob existed stay warm.  The exact shard
+                # count is part of the key even though sharded
+                # *classifications* are shard-count invariant, because the
+                # reported iteration counts are not — and `repro submit
+                # --verify` fingerprints (which include iterations) must
+                # match a direct execution of the same request.
+                if self.scenario_shards >= 2:
+                    parts.append(("scenario_shards", self.scenario_shards))
             key = _digest("result", *parts)
             object.__setattr__(self, "_result_key", key)
         return key

@@ -52,19 +52,39 @@ def compute_dominators(cfg: CFG) -> dict[str, set[str]]:
 
 
 def immediate_dominators(cfg: CFG) -> dict[str, str | None]:
-    """Return the immediate dominator of every reachable block."""
+    """Return the immediate dominator of every reachable block.
+
+    The strict dominators of a node are totally ordered by dominance; the
+    immediate dominator is the *nearest* one — the candidate that every
+    other strict dominator dominates.
+    """
     dom = compute_dominators(cfg)
     idom: dict[str, str | None] = {}
     for node, dominators in dom.items():
         strict = dominators - {node}
-        idom[node] = None
-        for candidate in strict:
-            # The immediate dominator is the strict dominator that is
-            # dominated by every other strict dominator.
-            if all(candidate in dom[other] for other in strict):
-                idom[node] = candidate
-                break
+        idom[node] = _nearest_in_chain(strict, dom)
     return idom
+
+
+def _nearest_in_chain(
+    candidates: set[str], relation: dict[str, set[str]]
+) -> str | None:
+    """The element of ``candidates`` that all other candidates (strictly)
+    relate to — i.e. the nearest strict (post)dominator, the bottom of the
+    chain.  ``relation[x]`` is the set of nodes (post)dominating ``x``.
+
+    Returns None when ``candidates`` is empty or does not form a chain
+    (which cannot happen for the (post)dominator sets of a node computed
+    over a graph where every node reaches the (virtual) root).
+    """
+    for candidate in sorted(candidates):
+        if all(
+            other in relation[candidate]
+            for other in candidates
+            if other != candidate
+        ):
+            return candidate
+    return None
 
 
 def compute_postdominators(cfg: CFG) -> dict[str, set[str]]:
@@ -97,34 +117,87 @@ def compute_postdominators(cfg: CFG) -> dict[str, set[str]]:
     return _iterative_dominators(all_nodes, VIRTUAL_EXIT, predecessors_in_reverse)
 
 
+def _exit_reaching_postdominators(cfg: CFG) -> tuple[dict[str, set[str]], set[str]]:
+    """Postdominator sets computed over the *exit-reaching* subgraph only.
+
+    Returns ``(pdom, can_reach_exit)``.  Blocks that cannot reach any
+    return are excluded from the computation entirely: running the
+    iterative algorithm over the full graph leaves the doomed blocks'
+    sets at their ``all_nodes`` initialisation, and those polluted sets
+    do not form chains, so any selection from them (such as the
+    historical ``sorted(candidates)[0]`` fallback) returns an arbitrary
+    block that need not postdominate anything.
+    """
+    nodes = cfg.reachable_blocks()
+    node_set = set(nodes)
+    exits = [node for node in cfg.exit_blocks() if node in node_set]
+    # Backward reachability: which blocks can reach an exit at all.
+    can_reach_exit: set[str] = set(exits)
+    stack = list(exits)
+    while stack:
+        node = stack.pop()
+        for predecessor in cfg.predecessors(node):
+            if predecessor in node_set and predecessor not in can_reach_exit:
+                can_reach_exit.add(predecessor)
+                stack.append(predecessor)
+    sub_nodes = [node for node in nodes if node in can_reach_exit]
+    all_nodes = sub_nodes + [VIRTUAL_EXIT]
+    predecessors_in_reverse: dict[str, list[str]] = {VIRTUAL_EXIT: []}
+    for node in sub_nodes:
+        successors = [s for s in cfg.successors(node) if s in can_reach_exit]
+        if node in exits:
+            successors.append(VIRTUAL_EXIT)
+        predecessors_in_reverse[node] = successors
+    pdom = _iterative_dominators(all_nodes, VIRTUAL_EXIT, predecessors_in_reverse)
+    return pdom, can_reach_exit
+
+
+def postdominator_tree(cfg: CFG) -> dict[str, str | None]:
+    """Return the immediate postdominator of every reachable block.
+
+    Computed over the exit-reaching subgraph (see
+    :func:`_exit_reaching_postdominators`): a block that cannot reach any
+    return (e.g. inside an infinite loop) has no postdominators at all
+    and maps to None.
+
+    For exit-reaching blocks the strict postdominators form a chain and
+    the immediate one — the *nearest*, i.e. the first control-flow point
+    every path from the block to the exit must cross — is the candidate
+    that every other candidate postdominates.
+    """
+    pdom, can_reach_exit = _exit_reaching_postdominators(cfg)
+    tree: dict[str, str | None] = {}
+    for node in cfg.reachable_blocks():
+        if node not in can_reach_exit:
+            tree[node] = None
+            continue
+        candidates = pdom[node] - {node, VIRTUAL_EXIT}
+        tree[node] = _nearest_in_chain(candidates, pdom)
+    return tree
+
+
 def immediate_postdominator(cfg: CFG, block: str) -> str | None:
     """Return the nearest real block that post-dominates ``block``.
 
     Returns ``None`` when the only post-dominator is the virtual exit
-    (i.e. the branch never reconverges before returning).
+    (i.e. the branch never reconverges before returning) or when
+    ``block`` cannot reach any exit.
     """
-    pdom = compute_postdominators(cfg)
-    candidates = pdom.get(block, set()) - {block, VIRTUAL_EXIT}
-    if not candidates:
-        return None
-    # The immediate post-dominator is the candidate post-dominated by all
-    # other candidates.
-    for candidate in candidates:
-        if all(candidate in pdom[other] for other in candidates if other != candidate):
-            return candidate
-    return None
+    return postdominator_tree(cfg).get(block)
 
 
 def common_postdominator(cfg: CFG, left: str, right: str) -> str | None:
-    """Return the nearest block post-dominating both ``left`` and ``right``."""
-    pdom = compute_postdominators(cfg)
-    common = (pdom.get(left, set()) & pdom.get(right, set())) - {VIRTUAL_EXIT}
-    common -= {left, right}
+    """Return the nearest block post-dominating both ``left`` and ``right``.
+
+    None when either block cannot reach an exit (its postdominator set is
+    empty) or when the only common postdominator is the virtual exit.
+    The common postdominators are the intersection of two chains and so
+    form a chain themselves; no arbitrary fallback is needed.
+    """
+    pdom, can_reach_exit = _exit_reaching_postdominators(cfg)
+    if left not in can_reach_exit or right not in can_reach_exit:
+        return None
+    common = (pdom[left] & pdom[right]) - {VIRTUAL_EXIT, left, right}
     if not common:
         return None
-    for candidate in common:
-        if all(candidate in pdom[other] for other in common if other != candidate):
-            return candidate
-    # Fall back to any common post-dominator (the analysis only needs a
-    # sound merge point, not necessarily the nearest one).
-    return sorted(common)[0]
+    return _nearest_in_chain(common, pdom)

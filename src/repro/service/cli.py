@@ -179,6 +179,7 @@ def _build_request(args: argparse.Namespace, source: str) -> AnalysisRequest:
         line_size=args.line_size,
         cache_config=cache_config,
         speculation=speculation,
+        scenario_shards=getattr(args, "scenario_shards", 1),
         label=args.label,
     )
 
@@ -560,6 +561,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_geometry_args(submit)
     submit.add_argument("--depth-miss", type=int, default=None,
                         help="speculation depth bound bm")
+    submit.add_argument("--scenario-shards", type=int, default=1,
+                        help="speculative engine scheduler: 1 = canonical sparse "
+                             "fixpoint, N >= 2 = N scenario shards around an outer "
+                             "normal-state fixpoint (exact, unwidened results)")
     submit.add_argument("--depth-hit", type=int, default=None,
                         help="speculation depth bound bh")
     submit.add_argument("--label", default=None)

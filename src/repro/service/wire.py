@@ -106,6 +106,7 @@ def request_to_wire(request: AnalysisRequest) -> dict:
         "unroll": request.unroll,
         "inline": request.inline,
         "max_unroll_iterations": request.max_unroll_iterations,
+        "scenario_shards": request.scenario_shards,
         "label": request.label,
     }
 
@@ -141,6 +142,9 @@ def request_from_wire(data: Mapping[str, Any]) -> AnalysisRequest:
             unroll=bool(data.get("unroll", True)),
             inline=bool(data.get("inline", True)),
             max_unroll_iterations=int(data.get("max_unroll_iterations", 4096)),
+            # Payloads from pre-sharding clients default to the canonical
+            # (unsharded) engine.
+            scenario_shards=int(data.get("scenario_shards", 1)),
             label=data.get("label"),
         )
     except (KeyError, TypeError, ValueError) as error:

@@ -29,10 +29,11 @@ convergence block is ``vn_stop``.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 from repro.ir.cfg import CFG
-from repro.ir.dominators import VIRTUAL_EXIT, compute_postdominators
+from repro.ir.dominators import postdominator_tree
 from repro.ir.instructions import CondBranch, Fence, MemoryRef
 from repro.speculation.config import SpeculationConfig
 
@@ -100,6 +101,19 @@ class VirtualCFG:
     cfg: CFG
     config: SpeculationConfig
     scenarios: list[SpeculationScenario] = field(default_factory=list)
+    #: Lazily (re)built lookup indices; never compared or printed.  Only
+    #: *appends* (how ``build_vcfg`` and tests grow the list) are detected
+    #: lazily, via the length; any other mutation — replacing the list or
+    #: editing elements in place — must call :meth:`invalidate_indices`.
+    #: The contract is deliberately explicit rather than heuristic:
+    #: identity-based detection is unsound under allocator address reuse.
+    _by_color: dict[int, SpeculationScenario] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _by_branch: dict[str, list[SpeculationScenario]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _indexed_count: int = field(default=-1, repr=False, compare=False)
 
     @property
     def num_speculative_branches(self) -> int:
@@ -117,14 +131,38 @@ class VirtualCFG:
         """
         return sum(scenario.window_miss.num_instructions for scenario in self.scenarios)
 
+    def invalidate_indices(self) -> None:
+        """Force an index rebuild on the next lookup.  Required after any
+        mutation of ``scenarios`` other than appending — replacing the
+        list, or editing elements in place."""
+        self._indexed_count = -1
+
+    def _refresh_indices(self) -> None:
+        if self._indexed_count == len(self.scenarios):
+            return
+        self._by_color = {s.color: s for s in self.scenarios}
+        by_branch: dict[str, list[SpeculationScenario]] = {}
+        for scenario in self.scenarios:
+            by_branch.setdefault(scenario.branch_block, []).append(scenario)
+        self._by_branch = by_branch
+        self._indexed_count = len(self.scenarios)
+
     def scenarios_at(self, branch_block: str) -> list[SpeculationScenario]:
-        return [s for s in self.scenarios if s.branch_block == branch_block]
+        self._refresh_indices()
+        return list(self._by_branch.get(branch_block, ()))
 
     def scenario(self, color: int) -> SpeculationScenario:
-        for candidate in self.scenarios:
-            if candidate.color == color:
-                return candidate
-        raise KeyError(color)
+        """O(1) color lookup; raises :class:`KeyError` for unknown colors.
+
+        This sits on the engine's inner loop (every window and resume slot
+        at every block visit resolves its color), so it is dict-backed
+        rather than the linear scan it used to be.
+        """
+        self._refresh_indices()
+        try:
+            return self._by_color[color]
+        except KeyError:
+            raise KeyError(color) from None
 
     def describe(self) -> str:
         lines = [
@@ -140,14 +178,14 @@ class VirtualCFG:
 def build_vcfg(cfg: CFG, config: SpeculationConfig) -> VirtualCFG:
     """Construct the virtual CFG (all speculation scenarios) for ``cfg``."""
     vcfg = VirtualCFG(cfg=cfg, config=config)
-    pdom = compute_postdominators(cfg)
+    ipdom = postdominator_tree(cfg)
     color = 0
     for branch_block in cfg.conditional_blocks():
         terminator = cfg.block(branch_block).terminator
         assert isinstance(terminator, CondBranch)
         if terminator.true_target == terminator.false_target:
             continue
-        convergence = _immediate_postdominator(cfg, pdom, branch_block)
+        convergence = ipdom.get(branch_block)
         for mispredicted_taken in (True, False):
             wrong = terminator.true_target if mispredicted_taken else terminator.false_target
             correct = terminator.false_target if mispredicted_taken else terminator.true_target
@@ -191,28 +229,30 @@ def compute_window(cfg: CFG, start: str, depth: int) -> SpeculativeWindow:
     """
     if depth <= 0:
         return SpeculativeWindow(depth=depth)
+    # Dijkstra over block entry distances.  Edge weights (instruction
+    # counts) are non-negative, so expanding blocks in distance order
+    # settles each block's final distance the first time it is popped;
+    # later (stale) heap entries for an already-improved block are
+    # skipped.  This replaces the re-sort-the-whole-worklist-per-pop
+    # schedule, which cost O(n² log n) on wide windows.
     distance: dict[str, int] = {start: 0}
-    worklist = [start]
-    while worklist:
-        # Process the block with the smallest known distance first so each
-        # block's final distance is settled when it is expanded.
-        worklist.sort(key=lambda name: distance[name])
-        block_name = worklist.pop(0)
+    heap: list[tuple[int, str]] = [(0, start)]
+    while heap:
+        block_distance, block_name = heapq.heappop(heap)
+        if block_distance > distance[block_name]:
+            continue  # stale entry: a shorter path was found after the push
         if first_fence_index(cfg, block_name) is not None:
             # Speculation stalls at the fence until the branch resolves
             # and the excursion is squashed: successors are unreachable
             # speculatively through this block.
             continue
-        block_distance = distance[block_name]
-        block_length = cfg.block(block_name).instruction_count
-        exit_distance = block_distance + block_length
+        exit_distance = block_distance + cfg.block(block_name).instruction_count
         if exit_distance >= depth:
             continue
         for successor in cfg.successors(block_name):
             if exit_distance < distance.get(successor, depth):
                 distance[successor] = exit_distance
-                if successor not in worklist:
-                    worklist.append(successor)
+                heapq.heappush(heap, (exit_distance, successor))
     allowed: dict[str, int] = {}
     for name, dist in distance.items():
         if depth - dist <= 0:
@@ -225,15 +265,3 @@ def compute_window(cfg: CFG, start: str, depth: int) -> SpeculativeWindow:
         if allowance > 0:
             allowed[name] = allowance
     return SpeculativeWindow(depth=depth, allowed=allowed)
-
-
-def _immediate_postdominator(
-    cfg: CFG, pdom: dict[str, set[str]], block: str
-) -> str | None:
-    candidates = pdom.get(block, set()) - {block, VIRTUAL_EXIT}
-    if not candidates:
-        return None
-    for candidate in candidates:
-        if all(candidate in pdom[other] for other in candidates if other != candidate):
-            return candidate
-    return sorted(candidates)[0]
