@@ -26,9 +26,19 @@ fires — also for the scenario-sharded scheduler.  In full mode the
 128-branch kernel must show the sparse engine at least 5x faster than
 the pre-PR reconstruction.
 
+With ``--backend threads|processes`` the sharded column runs on that
+shard backend instead of the serial in-process scheduler, a serial
+sharded run is timed alongside it for comparison, and results are
+asserted bit-identical between the two.  In full mode with
+``--backend processes`` the 256-branch kernel must additionally show the
+process pool at least 2.5x faster than the serial sharded run — skipped
+(with a note) on machines with fewer cores than ``--workers``, where the
+hardware cannot express the speedup.
+
 Run standalone::
 
-    PYTHONPATH=src python benchmarks/bench_scenario_scaling.py [--smoke]
+    PYTHONPATH=src python benchmarks/bench_scenario_scaling.py \
+        [--smoke] [--backend processes] [--workers 4]
 
 or under pytest (explicit path, as for all benchmarks)::
 
@@ -39,6 +49,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import time
 
 from repro.analysis.multicolor import SpeculativeCacheAnalysis
@@ -64,6 +75,10 @@ BENCH_SPECULATION = SpeculationConfig(depth_miss=64, depth_hit=16)
 
 #: Required sparse-over-pre-PR speedup on the 128-branch kernel.
 REQUIRED_SPEEDUP_AT_128 = 5.0
+
+#: Required process-pool-over-serial-sharded speedup on the 256-branch
+#: kernel (full mode with ``--backend processes``, given enough cores).
+REQUIRED_SHARD_SPEEDUP_AT_256 = 2.5
 
 
 def _legacy_farthest_postdominator(cfg, pdom, block):
@@ -122,7 +137,7 @@ def _timed(factory):
     return time.perf_counter() - started, result
 
 
-def run_sweep(sizes, shards: int, time_reference: bool):
+def run_sweep(sizes, shards: int, time_reference: bool, backend: str = "serial"):
     rows = []
     for num_branches in sizes:
         program = compile_source(branchy_kernel_source(num_branches))
@@ -143,48 +158,82 @@ def run_sweep(sizes, shards: int, time_reference: bool):
         assert dense.iterations == sparse.iterations, (
             f"sparse/dense schedule divergence at {num_branches} branches"
         )
-        sharded_time = None
-        if num_branches <= MAX_REFERENCE_BRANCHES:
-            # The sharded scheduler optimises for distribution, not
-            # single-thread latency; its redundant outer rounds make it
-            # uncompetitive on the largest kernels, so it is swept only up
-            # to the reference cut-off.
-            sharded_time, sharded = _timed(lambda: engine(scenario_shards=shards))
-            assert sharded.classifications == sparse.classifications, (
+        # The serial sharded scheduler optimises for distribution, not
+        # single-thread latency; its redundant outer rounds make it
+        # uncompetitive on the largest kernels, so it is swept only up to
+        # the reference cut-off.  A parallel backend is the point of the
+        # exercise, so it runs the whole sweep, with a serial sharded run
+        # timed alongside for the speedup ratio and the identity check.
+        sharded_time = sharded_serial_time = None
+        run_parallel = backend != "serial"
+        run_serial = num_branches <= MAX_REFERENCE_BRANCHES or run_parallel
+        if run_serial:
+            sharded_serial_time, sharded_serial = _timed(
+                lambda: engine(scenario_shards=shards)
+            )
+            assert sharded_serial.classifications == sparse.classifications, (
                 f"sharded divergence at {num_branches} branches "
                 "(unexpected: these kernels are loop-free, widening never fires)"
             )
-        reference_time = None
-        if time_reference and num_branches <= MAX_REFERENCE_BRANCHES:
-            reference_time, reference = _timed(
-                lambda: PrePRReference(
-                    program, cache_config=BENCH_CACHE, speculation=BENCH_SPECULATION
-                )
+        if run_parallel:
+            sharded_time, sharded = _timed(
+                lambda: engine(scenario_shards=shards, shard_backend=backend)
             )
+            assert sharded.entry_states == sharded_serial.entry_states, (
+                f"{backend} sharding diverged from serial sharding "
+                f"at {num_branches} branches"
+            )
+            assert sharded.iterations == sharded_serial.iterations
+            assert sharded.classifications == sharded_serial.classifications
+        else:
+            sharded_time, sharded_serial_time = sharded_serial_time, None
         rows.append(
             {
                 "branches": num_branches,
                 "scenarios": 2 * num_branches,
-                "pre_pr": reference_time,
+                "pre_pr": (
+                    _timed(
+                        lambda: PrePRReference(
+                            program,
+                            cache_config=BENCH_CACHE,
+                            speculation=BENCH_SPECULATION,
+                        )
+                    )[0]
+                    if time_reference and num_branches <= MAX_REFERENCE_BRANCHES
+                    else None
+                ),
                 "dense": dense_time,
                 "sparse": sparse_time,
                 "sharded": sharded_time,
+                "sharded_serial": sharded_serial_time,
                 "iterations": sparse.iterations,
             }
         )
     return rows
 
 
-def report(rows, shards: int):
+def report(rows, shards: int, backend: str):
+    sharded_label = (
+        f"sharded x{shards}" if backend == "serial" else f"{backend} x{shards}"
+    )
+    serial_column = "" if backend == "serial" else f" {'serial-shard':>12}"
     print(
         f"{'branches':>8} {'scenarios':>9} {'pre-PR':>10} {'dense':>10} "
-        f"{'sparse':>10} {f'sharded x{shards}':>12} {'pre-PR/sparse':>14}"
+        f"{'sparse':>10} {sharded_label:>12}{serial_column} {'pre-PR/sparse':>14}"
     )
     for row in rows:
         pre = "-" if row["pre_pr"] is None else f"{row['pre_pr'] * 1000:8.1f}ms"
         sharded = (
             "-" if row["sharded"] is None else f"{row['sharded'] * 1000:8.1f}ms"
         )
+        serial_cell = ""
+        if backend != "serial":
+            serial_time = row["sharded_serial"]
+            serial_cell = (
+                f" {'-':>12}"
+                if serial_time is None
+                else f" {serial_time * 1000:10.1f}ms"
+            )
         ratio = (
             "-"
             if row["pre_pr"] is None
@@ -193,7 +242,7 @@ def report(rows, shards: int):
         print(
             f"{row['branches']:>8} {row['scenarios']:>9} {pre:>10} "
             f"{row['dense'] * 1000:8.1f}ms {row['sparse'] * 1000:8.1f}ms "
-            f"{sharded:>12} {ratio:>14}"
+            f"{sharded:>12}{serial_cell} {ratio:>14}"
         )
 
 
@@ -203,15 +252,27 @@ def main(argv: list[str] | None = None) -> int:
                         help="8/16 branches, identity checks only (CI-sized)")
     parser.add_argument("--shards", type=int, default=4,
                         help="shard count for the sharded column (default 4)")
+    parser.add_argument("--backend", choices=("serial", "threads", "processes"),
+                        default="serial",
+                        help="shard backend for the sharded column")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker cap for parallel backends (default 4; "
+                             "sets REPRO_MAX_WORKERS for this run)")
     args = parser.parse_args(argv)
+    os.environ["REPRO_MAX_WORKERS"] = str(args.workers)
     sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
     started = time.perf_counter()
-    rows = run_sweep(sizes, args.shards, time_reference=not args.smoke)
+    rows = run_sweep(
+        sizes, args.shards, time_reference=not args.smoke, backend=args.backend
+    )
     elapsed = time.perf_counter() - started
-    report(rows, args.shards)
+    report(rows, args.shards, args.backend)
     print(f"\n{len(rows)} kernel sizes analysed in {elapsed:.2f}s")
     if args.smoke:
-        print("OK (smoke): sparse, dense and sharded classifications bit-identical")
+        print(
+            "OK (smoke): sparse, dense and sharded "
+            f"({args.backend}) results bit-identical"
+        )
         return 0
     at_128 = next(row for row in rows if row["branches"] == 128)
     speedup = at_128["pre_pr"] / at_128["sparse"]
@@ -223,6 +284,27 @@ def main(argv: list[str] | None = None) -> int:
         f"OK: sparse engine {speedup:.1f}x faster than the pre-PR engine on the "
         f"128-branch kernel (>= {REQUIRED_SPEEDUP_AT_128}x), classifications bit-identical"
     )
+    if args.backend == "processes":
+        at_256 = next(row for row in rows if row["branches"] == 256)
+        shard_speedup = at_256["sharded_serial"] / at_256["sharded"]
+        cores = os.cpu_count() or 1
+        if cores < args.workers:
+            print(
+                f"NOTE: process-pool speedup at 256 branches was "
+                f"{shard_speedup:.1f}x; the >= {REQUIRED_SHARD_SPEEDUP_AT_256}x "
+                f"assertion is skipped ({cores} cores < {args.workers} workers)"
+            )
+        else:
+            assert shard_speedup >= REQUIRED_SHARD_SPEEDUP_AT_256, (
+                f"process pool only {shard_speedup:.1f}x faster than serial "
+                f"sharding at 256 branches "
+                f"(required: {REQUIRED_SHARD_SPEEDUP_AT_256}x)"
+            )
+            print(
+                f"OK: process pool {shard_speedup:.1f}x faster than serial "
+                f"sharding on the 256-branch kernel "
+                f"(>= {REQUIRED_SHARD_SPEEDUP_AT_256}x)"
+            )
     return 0
 
 

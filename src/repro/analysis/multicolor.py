@@ -53,18 +53,48 @@ each shard working against a private copy of the normal states whose
 changes are joined back deterministically after every round.  Shards
 only interact through the normal states, so the rounds are a chaotic
 iteration of the same equation system and converge to the same least
-fixpoint for every shard count — the shard runs can therefore execute on
-worker threads (``shard_threads=True``) without changing the result.
-The sharded scheduler computes the *exact* join-fixpoint: widening is an
-acceleration whose effect depends on the visit schedule, so applying it
-per-shard would make the result depend on the shard count.  The cache
-lattices are finite, so termination does not need it; on programs where
-the canonical engine's widening fires (rare — deep unrolled loops), the
-sharded result can be strictly more precise.
+fixpoint for every shard count.  The sharded scheduler computes the
+*exact* join-fixpoint: widening is an acceleration whose effect depends
+on the visit schedule, so applying it per-shard would make the result
+depend on the shard count.  The cache lattices are finite, so
+termination does not need it; on programs where the canonical engine's
+widening fires (rare — deep unrolled loops), the sharded result can be
+strictly more precise.
+
+Shard backends
+--------------
+
+Because shard runs only read the shared normal states and their outputs
+are joined deterministically, *where* they execute is a pure scheduling
+choice.  ``shard_backend`` selects it:
+
+* ``"serial"`` — shard fixpoints run one after another in the calling
+  thread (the reference schedule);
+* ``"threads"`` — shard fixpoints run on a thread pool.  GIL-bound, so
+  no speedup for pure-Python transfers, but it exercises the concurrent
+  schedule cheaply;
+* ``"processes"`` — shard state lives in persistent worker processes
+  (:class:`~repro.engine.pool.PersistentWorkerPool`; worker count from
+  ``REPRO_MAX_WORKERS``, default the CPU count).  Each outer round the
+  master broadcasts the blocks whose normal state changed as a
+  codec-encoded delta (:mod:`repro.cache.codec`), workers run their
+  shard fixpoints against their mirror of the normal states, and the
+  master joins the codec-encoded shard deltas back in shard order.  If
+  workers cannot be started (or die mid-run), the solve falls back to
+  the serial backend.
+
+All three backends are **bit-identical** by construction: workers run
+the same ``_run_sparse_pass`` code on equal inputs, the codec
+round-trips states to equal values, and every join happens master-side
+in the serial schedule's order (shard index, then block order).  The
+backend that actually ran is recorded in ``shard_backend_used``.
+Requests may therefore treat the backend as an execution knob, not a
+semantic one — result cache keys deliberately exclude it.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -78,7 +108,10 @@ from repro.analysis.transfer import (
     transfer_block,
     transfer_block_with_prefix_join,
 )
+from repro.cache.codec import decode_state_map, encode_state_map
 from repro.cache.config import CacheConfig
+from repro.engine.pool import PersistentWorkerPool, WorkerPoolError, default_max_workers
+from repro.engine.request import SHARD_BACKENDS
 from repro.engine.worklist import PriorityWorklist, WideningPolicy, run_fixpoint
 from repro.frontend import CompiledProgram
 from repro.ir.loops import find_natural_loops
@@ -95,6 +128,24 @@ WIDENING_DELAY = 3
 #: computation always terminates, but a bug in a transfer function should
 #: surface as an error rather than an endless loop).
 MAX_VISITS = 5_000_000
+
+
+def resolve_shard_backend(
+    shard_backend: str | None, shard_threads: bool = False
+) -> str:
+    """Resolve the backend knob: an explicit value wins, then the legacy
+    ``shard_threads`` flag, then the ``REPRO_SHARD_BACKEND`` environment
+    variable, then ``"serial"``."""
+    resolved = shard_backend
+    if resolved is None and shard_threads:
+        resolved = "threads"
+    if resolved is None:
+        resolved = os.environ.get("REPRO_SHARD_BACKEND") or "serial"
+    if resolved not in SHARD_BACKENDS:
+        raise ValueError(
+            f"unknown shard backend {resolved!r} (expected one of {SHARD_BACKENDS})"
+        )
+    return resolved
 
 
 @dataclass
@@ -145,6 +196,7 @@ class SpeculativeCacheAnalysis:
         mode: str = "sparse",
         scenario_shards: int = 1,
         shard_threads: bool = False,
+        shard_backend: str | None = None,
     ):
         if mode not in ("sparse", "dense"):
             raise ValueError(f"unknown engine mode {mode!r}")
@@ -155,7 +207,11 @@ class SpeculativeCacheAnalysis:
         self.speculation = speculation or SpeculationConfig.paper_default()
         self.mode = mode
         self.scenario_shards = max(1, int(scenario_shards))
-        self.shard_threads = shard_threads
+        self.shard_backend = resolve_shard_backend(shard_backend, shard_threads)
+        self.shard_threads = self.shard_backend == "threads"
+        #: Which backend the last sharded solve actually executed on
+        #: (None until then; "serial" after a process-backend fallback).
+        self.shard_backend_used: str | None = None
         self.vcfg: VirtualCFG = build_vcfg(self.cfg, self.speculation)
         self.table = AccessTable(self.cfg, self.layout)
         self.chooser = DepthChooser(self.speculation, self.layout)
@@ -268,6 +324,15 @@ class SpeculativeCacheAnalysis:
             # fewer than two scenarios: a sharded request promises (and is
             # result-keyed as) unwidened results, so falling back to the
             # widened canonical engine here would break that contract.
+            if self.shard_backend == "processes":
+                try:
+                    return self._solve_sharded_processes()
+                except WorkerPoolError:
+                    # Workers unavailable or lost mid-run: the sharded
+                    # solve is deterministic and only commits state at
+                    # the end, so restarting serially is safe (and will
+                    # also surface any genuine analysis bug locally).
+                    pass
             return self._solve_sharded()
         return self._solve_sparse()
 
@@ -438,6 +503,7 @@ class SpeculativeCacheAnalysis:
     # Scenario-sharded fixpoint
     # ------------------------------------------------------------------
     def _solve_sharded(self) -> SpeculativeFixpoint:
+        self.shard_backend_used = "threads" if self.shard_threads else "serial"
         cfg = self.cfg
         reachable = cfg.reachable_blocks()
         order = self._schedule_order()
@@ -587,6 +653,159 @@ class SpeculativeCacheAnalysis:
             with ThreadPoolExecutor(max_workers=len(shards)) as pool:
                 return list(pool.map(run_one, shards))
         return [run_one(shard) for shard in shards]
+
+    # ------------------------------------------------------------------
+    # Scenario-sharded fixpoint, process backend
+    # ------------------------------------------------------------------
+    def _solve_sharded_processes(self) -> SpeculativeFixpoint:
+        """The sharded scheduler with shard fixpoints in worker processes.
+
+        Identical round structure to :meth:`_solve_sharded`; the
+        differences are purely about state placement.  Shard state
+        (slots, dirty sets, visit counts, chooser) lives in persistent
+        workers for the whole solve; each worker also keeps a *mirror*
+        of the master's normal states, kept in sync by broadcasting the
+        blocks that changed since the previous round (the phase-3 join
+        delta plus the next phase-1 changes — exactly the set
+        ``_solve_sharded`` hands to :meth:`_run_shards`) as one
+        codec-encoded state map.  Workers reply per shard with the pop
+        count and the codec-encoded states of the blocks their local
+        normal copy changed; the master joins those replies in shard
+        order, then block order — the serial schedule — so the fixpoint
+        is bit-identical to the serial backend's.
+
+        Raises :class:`WorkerPoolError` if workers cannot be started or
+        die mid-run; :meth:`solve` falls back to the serial backend
+        (nothing on ``self`` is mutated before the workers' final
+        hand-back succeeds).
+        """
+        cfg = self.cfg
+        reachable = cfg.reachable_blocks()
+        order = self._schedule_order()
+        no_widening = WideningPolicy(points=frozenset(), delay=WIDENING_DELAY)
+
+        normal: dict[str, object] = {name: self._bottom for name in reachable}
+        normal[cfg.entry] = new_entry_state(self.cache_config, self._use_shadow)
+        visits: dict[str, int] = {name: 0 for name in reachable}
+        normal_dirty: dict[str, set] = {name: set() for name in reachable}
+
+        scenarios = self.vcfg.scenarios
+        shard_count = max(1, min(self.scenario_shards, len(scenarios)))
+        # The same round-robin partition _build_shards uses; the master
+        # only needs each shard's branch blocks (for the seeding check).
+        shard_branch_blocks = [
+            {scenario.branch_block for scenario in scenarios[index::shard_count]}
+            for index in range(shard_count)
+        ]
+        num_workers = max(
+            1, min(default_max_workers() or os.cpu_count() or 1, shard_count)
+        )
+        # Worker w owns shards w, w+W, w+2W, ... — affinity is what lets
+        # shard state stay resident across rounds.
+        pool = PersistentWorkerPool(
+            _shard_worker_factory,
+            [
+                (
+                    self.program,
+                    self.cache_config,
+                    self.speculation,
+                    self.scenario_shards,
+                    tuple(range(worker, shard_count, num_workers)),
+                )
+                for worker in range(num_workers)
+            ],
+            name="repro-shard",
+        )
+        self.shard_backend_used = "processes"
+
+        fixpoint = SpeculativeFixpoint(normal=normal)
+        iterations = 0
+        shard_has_dirty = [False] * shard_count
+        pending_normal: set[str] = {cfg.entry}
+        delta_for_shards: set[str] = {cfg.entry}
+        no_slots: dict[str, dict[SlotKey, object]] = {name: {} for name in reachable}
+        try:
+            while True:
+                # Phase 1: outer normal-state fixpoint (master-side,
+                # identical to the serial backend's).
+                phase1_changed: set[str] = set()
+                if pending_normal:
+                    for block in pending_normal:
+                        normal_dirty[block].add(None)
+                    iterations += self._run_sparse_pass(
+                        normal=normal,
+                        speculative=no_slots,
+                        dirty=normal_dirty,
+                        seeds=sorted(pending_normal, key=lambda b: order.get(b, 0)),
+                        order=order,
+                        chooser=None,
+                        scenarios_by_branch={},
+                        policy=no_widening,
+                        visits=visits,
+                        normal_changed=phase1_changed,
+                        description="sharded speculative fixpoint (normal phase)",
+                    )
+                    pending_normal = set()
+                delta_for_shards |= phase1_changed
+                if not any(
+                    delta_for_shards & shard_branch_blocks[index]
+                    or shard_has_dirty[index]
+                    for index in range(shard_count)
+                ):
+                    break
+                # Phase 2: broadcast the delta, run the shard fixpoints
+                # remotely.  Every worker gets the delta — mirrors must
+                # track the master even in rounds where a worker's own
+                # shards have nothing to do.
+                delta_blob = encode_state_map(
+                    {block: normal[block] for block in delta_for_shards}
+                )
+                delta_for_shards = set()
+                replies = pool.request_all([("round", delta_blob)] * num_workers)
+                by_shard: dict[int, tuple[int, bytes]] = {}
+                for reply in replies:
+                    for shard_index, pops, changed_blob, leftover_dirty in reply:
+                        by_shard[shard_index] = (pops, changed_blob)
+                        shard_has_dirty[shard_index] = leftover_dirty
+                # Phase 3: deterministic join, in shard order then block
+                # order — the serial schedule.
+                joined_delta: set[str] = set()
+                for shard_index in range(shard_count):
+                    pops, changed_blob = by_shard[shard_index]
+                    iterations += pops
+                    local_states = decode_state_map(changed_blob)
+                    for block in sorted(local_states, key=lambda b: order.get(b, 0)):
+                        current = normal[block]
+                        joined = current.join(local_states[block])
+                        if not joined.leq(current):
+                            normal[block] = joined
+                            joined_delta.add(block)
+                if not joined_delta:
+                    break
+                pending_normal = joined_delta
+                delta_for_shards = set(joined_delta)
+            finals = pool.request_all([("finalize",)] * num_workers)
+        finally:
+            pool.close()
+
+        # Merge the workers' slot dictionaries and window decisions back
+        # into the engine-level views used by classification, in shard
+        # order (matching the serial backend's merge loop).
+        speculative: dict[str, dict[SlotKey, object]] = {name: {} for name in reachable}
+        by_shard_final: dict[int, tuple[dict, DepthChooser]] = {}
+        for reply in finals:
+            for shard_index, slots, chooser in reply:
+                by_shard_final[shard_index] = (slots, chooser)
+        for shard_index in range(shard_count):
+            slots, chooser = by_shard_final[shard_index]
+            for name, block_slots in slots.items():
+                if name in speculative:
+                    speculative[name].update(block_slots)
+            self.chooser.absorb(chooser)
+        fixpoint.speculative = speculative
+        fixpoint.iterations = iterations
+        fixpoint.widenings = 0
+        return fixpoint
 
     # ------------------------------------------------------------------
     # Dense fixpoint — the retained differential-reference engine
@@ -805,3 +1024,122 @@ class SpeculativeCacheAnalysis:
                     )
                 )
         return classifications
+
+
+# ----------------------------------------------------------------------
+# Process-backend shard worker
+# ----------------------------------------------------------------------
+def _shard_worker_factory(
+    program: CompiledProgram,
+    cache_config: CacheConfig,
+    speculation: SpeculationConfig,
+    scenario_shards: int,
+    shard_indices: tuple[int, ...],
+):
+    """Picklable :class:`~repro.engine.pool.PersistentWorkerPool` entry
+    point: builds one :class:`_ShardWorker` inside the worker process."""
+    return _ShardWorker(program, cache_config, speculation, scenario_shards, shard_indices)
+
+
+class _ShardWorker:
+    """The worker-process half of the ``"processes"`` shard backend.
+
+    Owns the shards at ``shard_indices`` of the same round-robin
+    partition the master computes (``_build_shards`` is deterministic on
+    equal inputs), plus a mirror of the master's normal states.  The
+    mirror starts from the same initial assignment the master builds and
+    is advanced by the per-round deltas, so at every round start it
+    equals the master's ``normal`` — which makes each shard run here
+    byte-for-byte the computation the serial backend's ``run_one`` would
+    have performed.
+    """
+
+    def __init__(
+        self,
+        program: CompiledProgram,
+        cache_config: CacheConfig,
+        speculation: SpeculationConfig,
+        scenario_shards: int,
+        shard_indices: tuple[int, ...],
+    ):
+        self.analysis = SpeculativeCacheAnalysis(
+            program,
+            cache_config=cache_config,
+            speculation=speculation,
+            mode="sparse",
+            scenario_shards=scenario_shards,
+            shard_backend="serial",
+        )
+        analysis = self.analysis
+        reachable = analysis.cfg.reachable_blocks()
+        self.order = analysis._schedule_order()
+        self.policy = WideningPolicy(points=frozenset(), delay=WIDENING_DELAY)
+        all_shards = analysis._build_shards(reachable)
+        self.shards = [all_shards[index] for index in shard_indices]
+        self.mirror: dict[str, object] = {name: analysis._bottom for name in reachable}
+        self.mirror[analysis.cfg.entry] = new_entry_state(
+            analysis.cache_config, analysis._use_shadow
+        )
+
+    def __call__(self, message: tuple):
+        if message[0] == "round":
+            return self._round(message[1])
+        if message[0] == "finalize":
+            return self._finalize()
+        raise ValueError(f"unknown shard-worker message {message[0]!r}")
+
+    def _round(self, delta_blob: bytes) -> list[tuple[int, int, bytes, bool]]:
+        """Run one fixpoint round for every owned shard; replies with
+        ``(shard index, pops, encoded changed states, leftover dirty)``
+        per shard.  Mirrors :meth:`SpeculativeCacheAnalysis._run_shards`'
+        ``run_one`` exactly (a shard with no seeds pops nothing and
+        changes nothing, matching the serial backend's seeding filter).
+        """
+        delta_states = decode_state_map(delta_blob)
+        self.mirror.update(delta_states)
+        delta = set(delta_states)
+        order = self.order
+        replies: list[tuple[int, int, bytes, bool]] = []
+        for shard in self.shards:
+            local_normal = dict(self.mirror)
+            for block in sorted(
+                delta & shard.branch_blocks, key=lambda b: order.get(b, 0)
+            ):
+                shard.dirty[block].add(None)
+            seeds = [block for block in shard.dirty if shard.dirty[block]]
+            seeds.sort(key=lambda b: order.get(b, 0))
+            local_changed: set[str] = set()
+            pops = self.analysis._run_sparse_pass(
+                normal=local_normal,
+                speculative=shard.slots,
+                dirty=shard.dirty,
+                seeds=seeds,
+                order=order,
+                chooser=shard.chooser,
+                scenarios_by_branch=shard.scenarios_by_branch,
+                policy=self.policy,
+                visits=shard.visits,
+                normal_changed=local_changed,
+                description=f"sharded speculative fixpoint (shard {shard.index})",
+            )
+            changed_blob = encode_state_map(
+                {block: local_normal[block] for block in local_changed}
+            )
+            leftover_dirty = any(shard.dirty[name] for name in shard.dirty)
+            replies.append((shard.index, pops, changed_blob, leftover_dirty))
+        return replies
+
+    def _finalize(self) -> list[tuple[int, dict, DepthChooser]]:
+        """Hand the accumulated shard state back to the master: the
+        non-empty slot dictionaries and the per-shard chooser (both
+        value-equal under pickling — slots hold the same abstract-state
+        dataclasses the codec round-trips, and the chooser's windows are
+        frozen dataclasses compared by value everywhere)."""
+        return [
+            (
+                shard.index,
+                {name: slots for name, slots in shard.slots.items() if slots},
+                shard.chooser,
+            )
+            for shard in self.shards
+        ]

@@ -27,6 +27,7 @@ def analyze_speculative(
     use_shadow_state: bool | None = None,
     scenario_shards: int = 1,
     shard_threads: bool = False,
+    shard_backend: str | None = None,
 ) -> CacheAnalysisResult:
     """Run the speculation-sound must-hit analysis on ``program``.
 
@@ -35,10 +36,12 @@ def analyze_speculative(
     state); unspecified knobs keep the paper's defaults.
 
     ``scenario_shards >= 2`` selects the scenario-sharded scheduler
-    (groups of colors solved against an outer normal-state fixpoint loop,
-    optionally on worker threads); see
-    :class:`repro.analysis.multicolor.SpeculativeCacheAnalysis` for its
-    exact-fixpoint semantics.
+    (groups of colors solved against an outer normal-state fixpoint
+    loop); ``shard_backend`` picks where the shard fixpoints execute —
+    ``"serial"``, ``"threads"``, or ``"processes"`` (bit-identical by
+    construction; see the backend section of
+    :mod:`repro.analysis.multicolor`).  None defers to the legacy
+    ``shard_threads`` flag, then ``REPRO_SHARD_BACKEND``, then serial.
     """
     config = speculation or SpeculationConfig.paper_default()
     if merge_strategy is not None:
@@ -68,5 +71,6 @@ def analyze_speculative(
         speculation=config,
         scenario_shards=scenario_shards,
         shard_threads=shard_threads,
+        shard_backend=shard_backend,
     )
     return engine.run()

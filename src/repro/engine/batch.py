@@ -29,35 +29,28 @@ batch silently degrades to in-process execution.
 from __future__ import annotations
 
 import math
-import os
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Iterable
 
 from repro.engine.engine import AnalysisEngine, _copy_result, compile_request, execute_request
+from repro.engine.pool import (
+    _POOL_COLLECT_FAILURES,
+    _POOL_SETUP_FAILURES,
+    PersistentWorkerPool,
+    WorkerPoolError,
+    default_max_workers,
+    discard_shared_pool,
+    shared_process_pool,
+)
 from repro.engine.request import AnalysisRequest
 
-#: Failures while *standing up* the pool (sandboxes without semaphores,
-#: restricted containers) that demote a batch to in-process execution.
-_POOL_SETUP_FAILURES = (BrokenExecutor, OSError, RuntimeError)
-
-#: Infrastructure failures while *collecting* results (a worker died
-#: abruptly, the pool broke mid-flight).  Deliberately narrower than the
-#: setup tuple: exceptions an analysis itself raises in a worker —
-#: including RuntimeError subclasses like RecursionError — propagate to
-#: the caller unchanged.
-_POOL_COLLECT_FAILURES = (BrokenExecutor, OSError)
-
-
-def default_max_workers() -> int | None:
-    """Worker count from the ``REPRO_MAX_WORKERS`` environment variable
-    (None — sequential — when unset or unparsable)."""
-    raw = os.environ.get("REPRO_MAX_WORKERS")
-    if not raw:
-        return None
-    try:
-        return max(1, int(raw))
-    except ValueError:
-        return None
+__all__ = [
+    "PersistentWorkerPool",
+    "WorkerPoolError",
+    "default_max_workers",
+    "discard_shared_pool",
+    "run_batch",
+    "shared_process_pool",
+]
 
 
 def run_batch(
@@ -164,24 +157,25 @@ def _work_units(
 def _execute_on_pool(
     units: list[list[tuple[int, AnalysisRequest]]], max_workers: int
 ) -> dict[int, object] | None:
-    """Run each work unit as one worker task; None means the pool could
-    not be stood up (fall back to in-process execution).  Analysis errors
-    raised inside a worker propagate unchanged."""
-    try:
-        pool = ProcessPoolExecutor(max_workers=min(max_workers, len(units)))
-    except _POOL_SETUP_FAILURES:
+    """Run each work unit as one task on the shared executor; None means
+    no pool is available (fall back to in-process execution).  Analysis
+    errors raised inside a worker propagate unchanged."""
+    pool = shared_process_pool(min(max_workers, len(units)))
+    if pool is None:
         return None
     fresh: dict[int, object] = {}
     try:
-        with pool:
-            futures = [
-                (unit, pool.submit(_execute_unit, [request for _, request in unit]))
-                for unit in units
-            ]
-            for unit, future in futures:
-                for (index, _), result in zip(unit, future.result()):
-                    fresh[index] = result
+        futures = [
+            (unit, pool.submit(_execute_unit, [request for _, request in unit]))
+            for unit in units
+        ]
+        for unit, future in futures:
+            for (index, _), result in zip(unit, future.result()):
+                fresh[index] = result
     except _POOL_COLLECT_FAILURES:
+        # The pool broke mid-flight; retire it so the next batch starts
+        # from a healthy executor, and run this one in process.
+        discard_shared_pool()
         return None
     return fresh
 

@@ -72,6 +72,7 @@ def execute_request(
         cache_config=request.cache_config,
         speculation=request.speculation,
         scenario_shards=request.scenario_shards,
+        shard_backend=request.shard_backend,
     )
 
 

@@ -24,6 +24,13 @@ class AnalysisKind(str, Enum):
     SPECULATIVE = "speculative"  # Algorithms 2/3, speculation-sound
 
 
+#: Valid values of the sharded engine's ``shard_backend`` execution axis
+#: (the canonical definition; the engine and the wire validate against
+#: it).  None on a request means "resolve at execution time": the
+#: ``REPRO_SHARD_BACKEND`` environment variable, then ``"serial"``.
+SHARD_BACKENDS = ("serial", "threads", "processes")
+
+
 @dataclass(frozen=True)
 class AnalysisRequest:
     """One declarative unit of analysis work.
@@ -42,6 +49,14 @@ class AnalysisRequest:
     key: the sharded scheduler computes the exact (unwidened) fixpoint,
     whose iteration counts — and, on widening-active programs,
     classifications — legitimately differ from the canonical engine's.
+
+    ``shard_backend`` picks *where* a sharded run executes —
+    ``"serial"``, ``"threads"`` or ``"processes"``; None defers to the
+    ``REPRO_SHARD_BACKEND`` environment variable, then ``"serial"``.
+    All backends are bit-identical (states, iteration counts,
+    classifications), so like ``label`` it is an execution hint: it never
+    affects equality, the result key, or the persistent store — existing
+    keys stay warm whatever backend computed them.
     """
 
     source: str
@@ -55,6 +70,7 @@ class AnalysisRequest:
     inline: bool = True
     max_unroll_iterations: int = 4096
     scenario_shards: int = 1
+    shard_backend: str | None = field(default=None, compare=False)
     label: str | None = field(default=None, compare=False)
 
     # ------------------------------------------------------------------

@@ -180,6 +180,7 @@ def _build_request(args: argparse.Namespace, source: str) -> AnalysisRequest:
         cache_config=cache_config,
         speculation=speculation,
         scenario_shards=getattr(args, "scenario_shards", 1),
+        shard_backend=getattr(args, "shard_backend", None),
         label=args.label,
     )
 
@@ -565,6 +566,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="speculative engine scheduler: 1 = canonical sparse "
                              "fixpoint, N >= 2 = N scenario shards around an outer "
                              "normal-state fixpoint (exact, unwidened results)")
+    submit.add_argument("--shard-backend", default=None,
+                        choices=("serial", "threads", "processes"),
+                        help="where sharded fixpoints execute (bit-identical "
+                             "results either way; default: the server's "
+                             "REPRO_SHARD_BACKEND, then serial)")
     submit.add_argument("--depth-hit", type=int, default=None,
                         help="speculation depth bound bh")
     submit.add_argument("--label", default=None)

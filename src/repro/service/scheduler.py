@@ -34,8 +34,9 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from enum import Enum, IntEnum
 
+from repro.analysis.multicolor import resolve_shard_backend
 from repro.engine.engine import AnalysisEngine
-from repro.engine.request import AnalysisRequest
+from repro.engine.request import AnalysisKind, AnalysisRequest
 
 #: How many queued jobs one worker may claim per dispatch; batching lets
 #: ``engine.run_batch`` deduplicate and share compiles within the claim.
@@ -164,13 +165,20 @@ class SchedulerStats:
     dispatched_batches: int = 0
     queued: int = 0
     running: int = 0
+    #: Queued (non-coalesced) jobs that use the scenario-sharded engine.
+    sharded_jobs: int = 0
+    #: Dispatches claimed solo because the job fans out over shard worker
+    #: processes (see :meth:`JobScheduler._fans_out`).
+    fanout_dispatches: int = 0
 
     def __str__(self) -> str:
         return (
             f"scheduler: {self.submitted} submitted "
             f"({self.coalesced} coalesced), {self.completed} completed, "
             f"{self.failed} failed, {self.cancelled} cancelled; "
-            f"{self.queued} queued, {self.running} running"
+            f"{self.queued} queued, {self.running} running; "
+            f"{self.sharded_jobs} sharded "
+            f"({self.fanout_dispatches} fan-out dispatches)"
         )
 
 
@@ -261,6 +269,11 @@ class JobScheduler:
             job = Job(self._next_id(), request, priority)
             self._jobs[job.id] = job
             self._inflight[key] = job
+            if (
+                request.kind is AnalysisKind.SPECULATIVE
+                and request.scenario_shards >= 2
+            ):
+                self._stats.sharded_jobs += 1
             heapq.heappush(self._heap, (int(priority), next(self._ticket), job))
             self._lock.notify()
             return job
@@ -335,9 +348,28 @@ class JobScheduler:
     def _next_id(self) -> str:
         return f"job-{next(self._job_seq):06d}"
 
+    @staticmethod
+    def _fans_out(request: AnalysisRequest) -> bool:
+        """True when executing ``request`` will spawn shard worker
+        processes of its own (sharded speculative run, process backend).
+        Such jobs are dispatched in a batch of their own: their workers
+        already use the whole machine, so stacking other jobs' pool
+        workers on top would oversubscribe it rather than speed it up."""
+        if (
+            request.kind is not AnalysisKind.SPECULATIVE
+            or request.scenario_shards < 2
+        ):
+            return False
+        try:
+            backend = resolve_shard_backend(request.shard_backend)
+        except ValueError:
+            return False  # the engine will reject it with a clear error
+        return backend == "processes"
+
     def _claim_batch(self) -> list[Job] | None:
         """Claim up to ``batch_size`` queued jobs (highest priority
-        first); None once the scheduler drains after shutdown."""
+        first, fan-out jobs solo); None once the scheduler drains after
+        shutdown."""
         with self._lock:
             while not self._heap:
                 if self._shutdown:
@@ -345,12 +377,20 @@ class JobScheduler:
                 self._lock.wait()
             batch: list[Job] = []
             while self._heap and len(batch) < self.batch_size:
-                _, _, job = heapq.heappop(self._heap)
+                _, _, job = self._heap[0]
                 if job.state is not JobState.QUEUED:
-                    continue  # cancelled while queued
+                    heapq.heappop(self._heap)
+                    continue  # cancelled while queued, or a stale bump entry
+                fans_out = self._fans_out(job.request)
+                if fans_out and batch:
+                    break  # leave the fan-out job for its own dispatch
+                heapq.heappop(self._heap)
                 job._state = JobState.RUNNING
                 job.started_at = time.monotonic()
                 batch.append(job)
+                if fans_out:
+                    self._stats.fanout_dispatches += 1
+                    break
             self._running += len(batch)
             self._stats.dispatched_batches += 1 if batch else 0
             return batch

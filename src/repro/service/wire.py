@@ -27,7 +27,7 @@ from typing import Any, Mapping
 
 from repro.analysis.result import CacheAnalysisResult
 from repro.cache.config import CacheConfig
-from repro.engine.request import AnalysisKind, AnalysisRequest
+from repro.engine.request import SHARD_BACKENDS, AnalysisKind, AnalysisRequest
 from repro.speculation.config import SpeculationConfig
 from repro.speculation.merge import MergeStrategy
 
@@ -107,6 +107,7 @@ def request_to_wire(request: AnalysisRequest) -> dict:
         "inline": request.inline,
         "max_unroll_iterations": request.max_unroll_iterations,
         "scenario_shards": request.scenario_shards,
+        "shard_backend": request.shard_backend,
         "label": request.label,
     }
 
@@ -122,6 +123,12 @@ def request_from_wire(data: Mapping[str, Any]) -> AnalysisRequest:
         kind = AnalysisKind(data.get("kind", AnalysisKind.SPECULATIVE.value))
     except ValueError as error:
         raise WireError(f"unknown analysis kind {data.get('kind')!r}") from error
+    shard_backend = data.get("shard_backend")
+    if shard_backend is not None and shard_backend not in SHARD_BACKENDS:
+        raise WireError(
+            f"unknown shard backend {shard_backend!r} "
+            f"(expected one of {SHARD_BACKENDS})"
+        )
     try:
         return AnalysisRequest(
             source=source,
@@ -143,8 +150,10 @@ def request_from_wire(data: Mapping[str, Any]) -> AnalysisRequest:
             inline=bool(data.get("inline", True)),
             max_unroll_iterations=int(data.get("max_unroll_iterations", 4096)),
             # Payloads from pre-sharding clients default to the canonical
-            # (unsharded) engine.
+            # (unsharded) engine; pre-backend payloads default to the
+            # server's own backend resolution (env, then serial).
             scenario_shards=int(data.get("scenario_shards", 1)),
+            shard_backend=shard_backend,
             label=data.get("label"),
         )
     except (KeyError, TypeError, ValueError) as error:

@@ -30,6 +30,8 @@ convergence block is ``vn_stop``.
 from __future__ import annotations
 
 import heapq
+import threading
+import weakref
 from dataclasses import dataclass, field
 
 from repro.ir.cfg import CFG
@@ -175,10 +177,32 @@ class VirtualCFG:
         return "\n".join(lines)
 
 
-def build_vcfg(cfg: CFG, config: SpeculationConfig) -> VirtualCFG:
-    """Construct the virtual CFG (all speculation scenarios) for ``cfg``."""
-    vcfg = VirtualCFG(cfg=cfg, config=config)
+# Scenario construction is deterministic in (cfg, config) and dominated
+# by the per-scenario window searches, so the result is memoised: every
+# engine construction over an already-seen (cfg, config) pair — repeat
+# requests against a cached compile, the per-candidate engines of the
+# mitigation searcher, differential benchmark runs — reuses the same
+# frozen scenario objects.  CFG is an eq-comparing dataclass (unhashable
+# and too costly to hash by content anyway), so entries are keyed by
+# object identity and evicted by a weakref finalizer when the CFG is
+# collected — which also rules out id-reuse aliasing: a recycled address
+# can only appear after the old object's finalizer has purged its
+# entries.
+_vcfg_memo: dict[tuple[int, SpeculationConfig], tuple[SpeculationScenario, ...]] = {}
+_vcfg_memo_lock = threading.RLock()
+
+
+def _evict_vcfg_memo(cfg_id: int) -> None:
+    with _vcfg_memo_lock:
+        for key in [key for key in _vcfg_memo if key[0] == cfg_id]:
+            del _vcfg_memo[key]
+
+
+def _compute_scenarios(
+    cfg: CFG, config: SpeculationConfig
+) -> tuple[SpeculationScenario, ...]:
     ipdom = postdominator_tree(cfg)
+    scenarios: list[SpeculationScenario] = []
     color = 0
     for branch_block in cfg.conditional_blocks():
         terminator = cfg.block(branch_block).terminator
@@ -189,20 +213,42 @@ def build_vcfg(cfg: CFG, config: SpeculationConfig) -> VirtualCFG:
         for mispredicted_taken in (True, False):
             wrong = terminator.true_target if mispredicted_taken else terminator.false_target
             correct = terminator.false_target if mispredicted_taken else terminator.true_target
-            scenario = SpeculationScenario(
-                color=color,
-                branch_block=branch_block,
-                mispredicted_taken=mispredicted_taken,
-                wrong_target=wrong,
-                correct_target=correct,
-                cond_refs=terminator.cond_refs,
-                window_miss=compute_window(cfg, wrong, config.depth_miss),
-                window_hit=compute_window(cfg, wrong, config.depth_hit),
-                convergence_block=convergence,
+            scenarios.append(
+                SpeculationScenario(
+                    color=color,
+                    branch_block=branch_block,
+                    mispredicted_taken=mispredicted_taken,
+                    wrong_target=wrong,
+                    correct_target=correct,
+                    cond_refs=terminator.cond_refs,
+                    window_miss=compute_window(cfg, wrong, config.depth_miss),
+                    window_hit=compute_window(cfg, wrong, config.depth_hit),
+                    convergence_block=convergence,
+                )
             )
-            vcfg.scenarios.append(scenario)
             color += 1
-    return vcfg
+    return tuple(scenarios)
+
+
+def build_vcfg(cfg: CFG, config: SpeculationConfig) -> VirtualCFG:
+    """Construct the virtual CFG (all speculation scenarios) for ``cfg``.
+
+    Memoised per (cfg identity, config): repeat calls share the frozen
+    :class:`SpeculationScenario` objects but always get a **fresh**
+    :class:`VirtualCFG` wrapper with a fresh ``scenarios`` list, so
+    callers that mutate the list (tests, the pre-PR benchmark reference)
+    cannot corrupt each other or the memo.
+    """
+    key = (id(cfg), config)
+    with _vcfg_memo_lock:
+        scenarios = _vcfg_memo.get(key)
+    if scenarios is None:
+        scenarios = _compute_scenarios(cfg, config)
+        with _vcfg_memo_lock:
+            if key not in _vcfg_memo:
+                _vcfg_memo[key] = scenarios
+                weakref.finalize(cfg, _evict_vcfg_memo, id(cfg))
+    return VirtualCFG(cfg=cfg, config=config, scenarios=list(scenarios))
 
 
 def first_fence_index(cfg: CFG, block: str) -> int | None:

@@ -1,0 +1,283 @@
+"""Differential tests for the shard-backend axis: serial, threaded and
+process-pool sharded runs must be bit-identical (abstract states,
+iteration counts, Table-7 verdicts) across merge strategies, geometries
+and replacement policies; plus backend resolution, the broken-pool
+fallback, wire/plumbing round trips and scheduler fan-out accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import compile_source
+from repro.analysis import multicolor
+from repro.analysis.multicolor import (
+    SpeculativeCacheAnalysis,
+    resolve_shard_backend,
+)
+from repro.bench.client import build_client_source
+from repro.bench.crypto import crypto_kernel
+from repro.bench.programs import branchy_kernel_source, wcet_benchmark_source
+from repro.cache.config import CacheConfig
+from repro.engine.engine import AnalysisEngine
+from repro.engine.pool import WorkerPoolError
+from repro.engine.request import SHARD_BACKENDS, AnalysisRequest
+from repro.service.scheduler import JobScheduler
+from repro.service.wire import (
+    WireError,
+    request_from_wire,
+    request_to_wire,
+    result_fingerprint,
+)
+from repro.speculation.config import SpeculationConfig
+from repro.speculation.merge import MergeStrategy
+
+#: The paper's geometry axes, scaled down: fully associative LRU and
+#: set-associative FIFO.
+GEOMETRIES = [
+    CacheConfig(num_lines=4, line_size=64),
+    CacheConfig(num_lines=8, line_size=64, associativity=2, policy="fifo"),
+]
+
+SHARDS = 4
+
+
+@pytest.fixture(scope="module")
+def branchy_program():
+    return compile_source(branchy_kernel_source(8))
+
+
+def run_backend(program, backend, *, cache_config, speculation=None, shards=SHARDS):
+    analysis = SpeculativeCacheAnalysis(
+        program,
+        cache_config=cache_config,
+        speculation=speculation or SpeculationConfig(depth_miss=64, depth_hit=16),
+        scenario_shards=shards,
+        shard_backend=backend,
+    )
+    result = analysis.run()
+    assert analysis.shard_backend_used == backend
+    return result
+
+
+def assert_bit_identical(reference, other):
+    assert other.entry_states == reference.entry_states
+    assert other.iterations == reference.iterations
+    assert other.widenings == reference.widenings
+    assert other.classifications == reference.classifications
+
+
+class TestDifferentialBackends:
+    @pytest.mark.parametrize("geometry", range(len(GEOMETRIES)))
+    def test_backends_bit_identical_across_geometries(
+        self, branchy_program, geometry
+    ):
+        config = GEOMETRIES[geometry]
+        serial = run_backend(branchy_program, "serial", cache_config=config)
+        for backend in ("threads", "processes"):
+            assert_bit_identical(
+                serial, run_backend(branchy_program, backend, cache_config=config)
+            )
+
+    @pytest.mark.parametrize("strategy", list(MergeStrategy))
+    def test_backends_bit_identical_across_merge_strategies(
+        self, branchy_program, strategy
+    ):
+        speculation = SpeculationConfig(
+            depth_miss=64, depth_hit=16, merge_strategy=strategy
+        )
+        serial = run_backend(
+            branchy_program, "serial",
+            cache_config=GEOMETRIES[0], speculation=speculation,
+        )
+        assert_bit_identical(
+            serial,
+            run_backend(
+                branchy_program, "processes",
+                cache_config=GEOMETRIES[0], speculation=speculation,
+            ),
+        )
+
+    def test_backends_agree_on_table7_kernel(self, bench_cache):
+        """The Table-7 harness shape (crypto kernel + client loop): every
+        backend must report the same leak verdicts."""
+        program = compile_source(
+            build_client_source(crypto_kernel("hash", 64, 64), 2880)
+        )
+        serial = run_backend(program, "serial", cache_config=bench_cache, shards=3)
+        processes = run_backend(
+            program, "processes", cache_config=bench_cache, shards=3
+        )
+        assert_bit_identical(serial, processes)
+        assert processes.leak_detected == serial.leak_detected
+
+    def test_backends_agree_under_widening_pressure(self, bench_cache):
+        """On a widening-active kernel the sharded engines compute the
+        exact unwidened lfp regardless of backend."""
+        program = compile_source(wcet_benchmark_source("adpcm"))
+        serial = run_backend(program, "serial", cache_config=bench_cache, shards=2)
+        assert serial.widenings == 0
+        assert_bit_identical(
+            serial,
+            run_backend(program, "processes", cache_config=bench_cache, shards=2),
+        )
+
+    def test_unsharded_run_ignores_backend(self, branchy_program):
+        analysis = SpeculativeCacheAnalysis(
+            branchy_program,
+            cache_config=GEOMETRIES[0],
+            scenario_shards=1,
+            shard_backend="processes",
+        )
+        analysis.run()
+        # No sharded solve ran, so no backend was exercised.
+        assert analysis.shard_backend_used is None
+
+
+class TestBackendResolution:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARD_BACKEND", raising=False)
+        assert resolve_shard_backend(None) == "serial"
+
+    def test_explicit_backend_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_BACKEND", "processes")
+        assert resolve_shard_backend("threads") == "threads"
+
+    def test_legacy_thread_flag(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARD_BACKEND", raising=False)
+        assert resolve_shard_backend(None, shard_threads=True) == "threads"
+        # ...but an explicit backend still outranks it.
+        assert resolve_shard_backend("serial", shard_threads=True) == "serial"
+
+    def test_environment_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_BACKEND", "processes")
+        assert resolve_shard_backend(None) == "processes"
+
+    @pytest.mark.parametrize("bogus", ["fork", "PROCESSES", ""])
+    def test_invalid_backend_rejected(self, bogus, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARD_BACKEND", raising=False)
+        with pytest.raises(ValueError):
+            resolve_shard_backend(bogus)
+
+    def test_constructor_rejects_invalid_backend(self, branchy_program):
+        with pytest.raises(ValueError):
+            SpeculativeCacheAnalysis(
+                branchy_program,
+                cache_config=GEOMETRIES[0],
+                shard_backend="bogus",
+            )
+
+    def test_constructor_resolves_environment(self, branchy_program, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_BACKEND", "threads")
+        analysis = SpeculativeCacheAnalysis(
+            branchy_program, cache_config=GEOMETRIES[0]
+        )
+        assert analysis.shard_backend == "threads"
+        assert analysis.shard_threads
+
+
+class TestBrokenPoolFallback:
+    def test_falls_back_to_serial_and_stays_correct(
+        self, branchy_program, monkeypatch
+    ):
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                raise WorkerPoolError("no workers today")
+
+        serial = run_backend(branchy_program, "serial", cache_config=GEOMETRIES[0])
+        monkeypatch.setattr(multicolor, "PersistentWorkerPool", ExplodingPool)
+        analysis = SpeculativeCacheAnalysis(
+            branchy_program,
+            cache_config=GEOMETRIES[0],
+            speculation=SpeculationConfig(depth_miss=64, depth_hit=16),
+            scenario_shards=SHARDS,
+            shard_backend="processes",
+        )
+        fallback = analysis.run()
+        assert analysis.shard_backend_used == "serial"
+        assert_bit_identical(serial, fallback)
+
+
+class TestRequestPlumbing:
+    SOURCE = "char a[64]; int p; int main() { if (p > 0) { a[0]; } a[0]; return 0; }"
+
+    def test_backend_never_affects_result_key(self):
+        keys = {
+            AnalysisRequest.speculative(
+                self.SOURCE, scenario_shards=4, shard_backend=backend
+            ).result_key()
+            for backend in (None,) + SHARD_BACKENDS
+        }
+        assert len(keys) == 1
+
+    def test_backend_never_affects_equality(self):
+        plain = AnalysisRequest.speculative(self.SOURCE, scenario_shards=4)
+        forced = AnalysisRequest.speculative(
+            self.SOURCE, scenario_shards=4, shard_backend="processes"
+        )
+        assert plain == forced
+
+    def test_wire_round_trip_preserves_backend(self):
+        request = AnalysisRequest.speculative(
+            self.SOURCE, scenario_shards=4, shard_backend="processes"
+        )
+        restored = request_from_wire(request_to_wire(request))
+        assert restored.shard_backend == "processes"
+        assert restored == request
+
+    def test_legacy_payload_defaults_to_unset_backend(self):
+        payload = request_to_wire(AnalysisRequest.speculative(self.SOURCE))
+        del payload["shard_backend"]
+        restored = request_from_wire(payload)
+        assert restored.shard_backend is None
+
+    def test_wire_rejects_unknown_backend(self):
+        payload = request_to_wire(AnalysisRequest.speculative(self.SOURCE))
+        payload["shard_backend"] = "fork"
+        with pytest.raises(WireError, match="shard backend"):
+            request_from_wire(payload)
+
+
+class TestSchedulerFanOut:
+    SOURCE = TestRequestPlumbing.SOURCE
+
+    def test_fans_out_predicate(self):
+        fan = AnalysisRequest.speculative(
+            self.SOURCE, scenario_shards=4, shard_backend="processes"
+        )
+        assert JobScheduler._fans_out(fan)
+        assert not JobScheduler._fans_out(
+            AnalysisRequest.speculative(
+                self.SOURCE, scenario_shards=4, shard_backend="serial"
+            )
+        )
+        assert not JobScheduler._fans_out(
+            AnalysisRequest.speculative(self.SOURCE, shard_backend="processes")
+        )
+        assert not JobScheduler._fans_out(
+            AnalysisRequest.baseline(
+                self.SOURCE, scenario_shards=4, shard_backend="processes"
+            )
+        )
+
+    def test_sharded_fanout_jobs_complete_and_are_counted(self):
+        with JobScheduler(AnalysisEngine(), max_workers=2, batch_size=4) as sched:
+            fan = sched.submit(
+                AnalysisRequest.speculative(
+                    self.SOURCE, scenario_shards=2, shard_backend="processes"
+                )
+            )
+            plain = sched.submit(AnalysisRequest.speculative(self.SOURCE))
+            fan_result = fan.result(timeout=120)
+            plain.result(timeout=120)
+            stats = sched.stats
+            assert stats.sharded_jobs == 1
+            assert stats.fanout_dispatches == 1
+        # The backend is an execution hint: the fan-out job's result is
+        # bit-identical to running the same sharded request serially,
+        # directly on an engine.
+        direct = AnalysisEngine().run(
+            AnalysisRequest.speculative(
+                self.SOURCE, scenario_shards=2, shard_backend="serial"
+            )
+        )
+        assert result_fingerprint(fan_result) == result_fingerprint(direct)
