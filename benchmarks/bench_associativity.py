@@ -150,6 +150,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="two kernels, two geometries (CI-sized)")
     parser.add_argument("kernels", nargs="*",
                         help="kernels to sweep (default: all Table-7 kernels)")
+    parser.add_argument("--json", action="store_true",
+                        help="write BENCH_associativity.json (see benchlib)")
     args = parser.parse_args(argv)
     names = args.kernels or sorted(CRYPTO_BENCHMARKS)
     unknown = [name for name in names if name not in CRYPTO_BENCHMARKS]
@@ -169,6 +171,28 @@ def main(argv: list[str] | None = None) -> int:
     check(rows)
     print("OK: paper-configuration verdicts match Table 7; "
           "speculative must-hits subsume-checked at every geometry")
+    if args.json:
+        import benchlib
+
+        path = benchlib.write_bench_json(
+            "associativity",
+            params={"smoke": args.smoke, "kernels": names},
+            rows=[
+                {
+                    "kernel": row.kernel,
+                    "geometry": geometry_label(row.config),
+                    "access_sites": row.access_sites,
+                    "base_must_hits": row.base_must_hits,
+                    "spec_must_hits": row.spec_must_hits,
+                    "spec_misses": row.spec_misses,
+                    "leak_detected": row.leak_detected,
+                    "wall_seconds": row.analysis_time,
+                }
+                for row in rows
+            ],
+            wall_seconds=elapsed,
+        )
+        print(f"wrote {path}")
     return 0
 
 

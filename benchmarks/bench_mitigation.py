@@ -108,6 +108,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="one kernel only (CI-sized)")
     parser.add_argument("kernels", nargs="*",
                         help=f"kernels to mitigate (default: {', '.join(EXPECTED_LEAKY)})")
+    parser.add_argument("--json", action="store_true",
+                        help="write BENCH_mitigation.json (see benchlib)")
     args = parser.parse_args(argv)
     names = args.kernels or list(EXPECTED_LEAKY)
     if args.smoke:
@@ -124,6 +126,39 @@ def main(argv: list[str] | None = None) -> int:
     print(f"total synthesis wall time: {elapsed:.2f}s")
     check(results)
     print("OK: every placement verified to zero leak sites")
+    if args.json:
+        import benchlib
+
+        path = benchlib.write_bench_json(
+            "mitigation",
+            params={"smoke": args.smoke, "kernels": names},
+            rows=[
+                {
+                    "kernel": result.name,
+                    "leak_sites_before": result.leak_sites_before,
+                    "chosen": result.chosen,
+                    "fences": (
+                        result.selected().source_fences
+                        if result.selected() is not None
+                        else 0
+                    ),
+                    "baseline_fences": (
+                        result.baseline.source_fences
+                        if result.baseline is not None
+                        else 0
+                    ),
+                    "verified": (
+                        result.selected().verified
+                        if result.selected() is not None
+                        else True
+                    ),
+                    "wall_seconds": result.synthesis_time,
+                }
+                for result in results
+            ],
+            wall_seconds=elapsed,
+        )
+        print(f"wrote {path}")
     return 0
 
 

@@ -246,6 +246,26 @@ def report(rows, shards: int, backend: str):
         )
 
 
+def _maybe_write_json(args, rows, speedups, elapsed) -> None:
+    if not args.json:
+        return
+    import benchlib
+
+    path = benchlib.write_bench_json(
+        "scenario_scaling",
+        params={
+            "smoke": args.smoke,
+            "shards": args.shards,
+            "backend": args.backend,
+            "workers": args.workers,
+        },
+        rows=rows,
+        speedups=speedups,
+        wall_seconds=elapsed,
+    )
+    print(f"wrote {path}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
@@ -258,6 +278,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=4,
                         help="worker cap for parallel backends (default 4; "
                              "sets REPRO_MAX_WORKERS for this run)")
+    parser.add_argument("--json", action="store_true",
+                        help="write BENCH_scenario_scaling.json (see benchlib)")
     args = parser.parse_args(argv)
     os.environ["REPRO_MAX_WORKERS"] = str(args.workers)
     sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
@@ -273,6 +295,7 @@ def main(argv: list[str] | None = None) -> int:
             "OK (smoke): sparse, dense and sharded "
             f"({args.backend}) results bit-identical"
         )
+        _maybe_write_json(args, rows, {}, elapsed)
         return 0
     at_128 = next(row for row in rows if row["branches"] == 128)
     speedup = at_128["pre_pr"] / at_128["sparse"]
@@ -284,9 +307,11 @@ def main(argv: list[str] | None = None) -> int:
         f"OK: sparse engine {speedup:.1f}x faster than the pre-PR engine on the "
         f"128-branch kernel (>= {REQUIRED_SPEEDUP_AT_128}x), classifications bit-identical"
     )
+    speedups = {"sparse_over_pre_pr_at_128": speedup}
     if args.backend == "processes":
         at_256 = next(row for row in rows if row["branches"] == 256)
         shard_speedup = at_256["sharded_serial"] / at_256["sharded"]
+        speedups["processes_over_serial_sharding_at_256"] = shard_speedup
         cores = os.cpu_count() or 1
         if cores < args.workers:
             print(
@@ -305,6 +330,7 @@ def main(argv: list[str] | None = None) -> int:
                 f"sharding on the 256-branch kernel "
                 f"(>= {REQUIRED_SHARD_SPEEDUP_AT_256}x)"
             )
+    _maybe_write_json(args, rows, speedups, elapsed)
     return 0
 
 

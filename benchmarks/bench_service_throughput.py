@@ -72,7 +72,10 @@ def replay(store_dir: Path, requests: list[AnalysisRequest], max_workers: int):
     return elapsed, [result_fingerprint(result) for result in results], engine.stats
 
 
-def run(programs: int, repeats: int, max_workers: int, store_dir: Path) -> float:
+def run(
+    programs: int, repeats: int, max_workers: int, store_dir: Path
+) -> tuple[float, float, float]:
+    """Returns ``(speedup, cold_seconds, warm_seconds)``."""
     requests = build_workload(programs, repeats)
     distinct = len({request.result_key() for request in requests})
     print(
@@ -92,7 +95,7 @@ def run(programs: int, repeats: int, max_workers: int, store_dir: Path) -> float
 
     speedup = cold_time / warm_time if warm_time > 0 else float("inf")
     print(f"warm-vs-cold speedup:         {speedup:8.1f}x")
-    return speedup
+    return speedup, cold_time, warm_time
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -104,18 +107,40 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-workers", type=int, default=2)
     parser.add_argument("--store-dir", default=None,
                         help="reuse a store directory instead of a fresh temp dir")
+    parser.add_argument("--json", action="store_true",
+                        help="write BENCH_service_throughput.json (see benchlib)")
     args = parser.parse_args(argv)
     if args.smoke:
         args.programs, args.repeats = 2, 2
 
     if args.store_dir is not None:
-        speedup = run(args.programs, args.repeats, args.max_workers, Path(args.store_dir))
+        timings = run(args.programs, args.repeats, args.max_workers, Path(args.store_dir))
     else:
         tmp = Path(tempfile.mkdtemp(prefix="repro-bench-store-"))
         try:
-            speedup = run(args.programs, args.repeats, args.max_workers, tmp)
+            timings = run(args.programs, args.repeats, args.max_workers, tmp)
         finally:
             shutil.rmtree(tmp, ignore_errors=True)
+    speedup, cold_time, warm_time = timings
+    if args.json:
+        import benchlib
+
+        path = benchlib.write_bench_json(
+            "service_throughput",
+            params={
+                "smoke": args.smoke,
+                "programs": args.programs,
+                "repeats": args.repeats,
+                "max_workers": args.max_workers,
+            },
+            rows=[
+                {"phase": "cold", "wall_seconds": cold_time},
+                {"phase": "warm", "wall_seconds": warm_time},
+            ],
+            speedups={"warm_over_cold": speedup},
+            wall_seconds=cold_time + warm_time,
+        )
+        print(f"wrote {path}")
     return 0 if speedup > 1.0 else 1
 
 
@@ -123,7 +148,7 @@ def main(argv: list[str] | None = None) -> int:
 # pytest entry point (explicit: pytest benchmarks/bench_service_throughput.py)
 # ----------------------------------------------------------------------
 def test_warm_store_beats_cold_start(tmp_path):
-    speedup = run(programs=2, repeats=2, max_workers=2, store_dir=tmp_path / "store")
+    speedup, _, _ = run(programs=2, repeats=2, max_workers=2, store_dir=tmp_path / "store")
     assert speedup > 2.0, f"warm store should be >2x faster, got {speedup:.1f}x"
 
 

@@ -1,0 +1,75 @@
+"""Standardised machine-readable benchmark output.
+
+Every ``bench_*.py`` can emit one ``BENCH_<name>.json`` file with the
+same top-level shape — ``name``, ``params`` (the knobs the run was
+invoked with), ``rows`` (per-configuration wall times and counters),
+``speedups`` (the headline ratios the benchmark asserts on) and
+``wall_seconds`` — so CI can upload the files as artifacts and scripts
+can diff runs without scraping stdout.
+
+Two activation paths:
+
+* the argparse-style benchmarks take a ``--json`` flag and call
+  :func:`write_bench_json` explicitly;
+* the pytest-style benchmarks write automatically whenever the
+  ``REPRO_BENCH_JSON`` environment variable is set (``1`` writes into
+  the current directory, any other value names the target directory) —
+  the ``once`` fixture in ``conftest.py`` does it for them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Mapping, Sequence
+
+
+def json_dir_from_env() -> str | None:
+    """Target directory selected by ``REPRO_BENCH_JSON`` (None = off)."""
+    value = os.environ.get("REPRO_BENCH_JSON")
+    if not value:
+        return None
+    return "." if value in ("1", "true", "yes") else value
+
+
+def write_bench_json(
+    name: str,
+    params: Mapping[str, Any] | None,
+    rows: Sequence[Mapping[str, Any]],
+    speedups: Mapping[str, float] | None = None,
+    wall_seconds: float | None = None,
+    path: str | None = None,
+) -> str:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    Row values that are not JSON-native (dataclasses, configs) are
+    stringified rather than rejected, so benchmarks can pass their
+    internal row dicts through unfiltered.
+    """
+    payload = {
+        "name": name,
+        "params": dict(params or {}),
+        "rows": [dict(row) for row in rows],
+        "speedups": dict(speedups or {}),
+        "wall_seconds": wall_seconds,
+        "created_at": time.time(),
+    }
+    if path is None:
+        path = os.path.join(json_dir_from_env() or ".", f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return path
+
+
+def maybe_write_bench_json(
+    name: str,
+    params: Mapping[str, Any] | None,
+    rows: Sequence[Mapping[str, Any]],
+    **kwargs,
+) -> str | None:
+    """Environment-gated :func:`write_bench_json` (for pytest runs)."""
+    if json_dir_from_env() is None:
+        return None
+    return write_bench_json(name, params, rows, **kwargs)

@@ -8,11 +8,22 @@ DESIGN.md's experiment index) and prints the rows it produced, so running
 reproduces the evaluation section.  Analyses are deterministic, so each
 experiment is executed once (``rounds=1``) — the timing reported by
 pytest-benchmark is the analysis wall-clock time the paper's tables quote.
+
+With ``REPRO_BENCH_JSON`` set (``1`` = current directory, anything else
+= target directory), every benchmark additionally writes a standardized
+``BENCH_<name>.json`` file via :mod:`benchlib`.
 """
 
 from __future__ import annotations
 
+import os
+import sys
+import time
+
 import pytest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import benchlib  # noqa: E402  — sibling module, needs the path entry above
 
 
 def run_once(benchmark, function, *args, **kwargs):
@@ -21,5 +32,27 @@ def run_once(benchmark, function, *args, **kwargs):
 
 
 @pytest.fixture
-def once():
-    return run_once
+def once(request):
+    """Like :func:`run_once`, and — when ``REPRO_BENCH_JSON`` is set —
+    record every timed call into ``BENCH_<module>.json`` (benchmarks
+    that time several variants accumulate one row per call)."""
+    module = request.node.module.__name__
+    name = module[len("bench_"):] if module.startswith("bench_") else module
+    rows: list[dict] = []
+
+    def run(benchmark, function, *args, **kwargs):
+        started = time.perf_counter()
+        result = run_once(benchmark, function, *args, **kwargs)
+        rows.append(
+            {"function": function.__name__,
+             "wall_seconds": time.perf_counter() - started}
+        )
+        benchlib.maybe_write_bench_json(
+            name,
+            params={"test": request.node.name},
+            rows=rows,
+            wall_seconds=sum(row["wall_seconds"] for row in rows),
+        )
+        return result
+
+    return run

@@ -8,8 +8,6 @@ speculative execution and — as the paper demonstrates — unsound with it.
 
 from __future__ import annotations
 
-import time
-
 from repro.ai.solver import solve_forward
 from repro.analysis.result import CacheAnalysisResult
 from repro.analysis.transfer import (
@@ -21,6 +19,7 @@ from repro.analysis.transfer import (
 )
 from repro.cache.config import CacheConfig
 from repro.frontend import CompiledProgram
+from repro.obs import metrics, span
 
 
 def analyze_baseline(
@@ -46,14 +45,18 @@ def analyze_baseline(
     table = AccessTable(cfg, program.layout)
     secret_symbols = set(program.info.secret_symbols)
 
-    started = time.perf_counter()
-    result = solve_forward(
-        cfg,
-        entry_state=new_entry_state(config, use_shadow_state),
-        bottom=new_bottom_state(config, use_shadow_state),
-        transfer=lambda name, state: transfer_block(state, table, name),
-    )
-    elapsed = time.perf_counter() - started
+    # The public `analysis_time` is derived from the span's duration:
+    # the span always times itself, sinks or not.
+    with span("fixpoint", program=cfg.name, kind="baseline") as fixpoint_span:
+        result = solve_forward(
+            cfg,
+            entry_state=new_entry_state(config, use_shadow_state),
+            bottom=new_bottom_state(config, use_shadow_state),
+            transfer=lambda name, state: transfer_block(state, table, name),
+        )
+        fixpoint_span.set(iterations=result.iterations, widenings=result.widenings)
+    metrics().counter("fixpoint.pops").inc(result.iterations)
+    metrics().counter("fixpoint.widenings").inc(result.widenings)
 
     analysis = CacheAnalysisResult(
         program_name=cfg.name,
@@ -62,13 +65,15 @@ def analyze_baseline(
         entry_states=dict(result.entry_states),
         iterations=result.iterations,
         widenings=result.widenings,
-        analysis_time=elapsed,
+        analysis_time=fixpoint_span.duration,
     )
-    for block in cfg.reachable_blocks():
-        state = result.entry_states[block]
-        if getattr(state, "is_bottom", False):
-            continue
-        analysis.classifications.extend(
-            classify_block(state, table, block, secret_symbols)
-        )
+    with span("classify", program=cfg.name) as classify_span:
+        for block in cfg.reachable_blocks():
+            state = result.entry_states[block]
+            if getattr(state, "is_bottom", False):
+                continue
+            analysis.classifications.extend(
+                classify_block(state, table, block, secret_symbols)
+            )
+        classify_span.set(sites=len(analysis.classifications))
     return analysis

@@ -94,8 +94,8 @@ semantic one — result cache keys deliberately exclude it.
 
 from __future__ import annotations
 
+import contextlib
 import os
-import time
 from dataclasses import dataclass, field
 
 from repro.analysis.depth import DepthChooser
@@ -115,6 +115,7 @@ from repro.engine.request import SHARD_BACKENDS
 from repro.engine.worklist import PriorityWorklist, WideningPolicy, run_fixpoint
 from repro.frontend import CompiledProgram
 from repro.ir.loops import find_natural_loops
+from repro.obs import metrics, span, tracer
 from repro.speculation.config import SpeculationConfig
 from repro.speculation.vcfg import SpeculationScenario, VirtualCFG, build_vcfg
 
@@ -217,6 +218,9 @@ class SpeculativeCacheAnalysis:
         self.chooser = DepthChooser(self.speculation, self.layout)
         self.secret_symbols = set(program.info.secret_symbols)
         self._use_shadow = self.speculation.use_shadow_state
+        #: Dirty-slot re-transfers performed by the sparse scheduler
+        #: (telemetry only; published to the metrics registry by run()).
+        self._slot_transfers = 0
         self._bottom = new_bottom_state(self.cache_config, self._use_shadow)
         # ------------------------------------------------------------------
         # Precomputed per-block indices (the sparse engine's substrate):
@@ -294,9 +298,26 @@ class SpeculativeCacheAnalysis:
     # Public API
     # ------------------------------------------------------------------
     def run(self) -> CacheAnalysisResult:
-        started = time.perf_counter()
-        fixpoint = self.solve()
-        elapsed = time.perf_counter() - started
+        # The public `analysis_time` is derived from the span's duration:
+        # the span always times itself, sinks or not.
+        with span(
+            "fixpoint",
+            program=self.cfg.name,
+            kind="speculative",
+            mode=self.mode,
+            scenarios=len(self.vcfg.scenarios),
+            shards=self.scenario_shards,
+        ) as fixpoint_span:
+            fixpoint = self.solve()
+            fixpoint_span.set(
+                iterations=fixpoint.iterations,
+                widenings=fixpoint.widenings,
+                backend=self.shard_backend_used,
+            )
+        registry = metrics()
+        registry.counter("fixpoint.pops").inc(fixpoint.iterations)
+        registry.counter("fixpoint.widenings").inc(fixpoint.widenings)
+        registry.counter("fixpoint.slot_retransfers").inc(self._slot_transfers)
         result = CacheAnalysisResult(
             program_name=self.cfg.name,
             cache_config=self.cache_config,
@@ -304,13 +325,16 @@ class SpeculativeCacheAnalysis:
             entry_states=dict(fixpoint.normal),
             iterations=fixpoint.iterations,
             widenings=fixpoint.widenings,
-            analysis_time=elapsed,
+            analysis_time=fixpoint_span.duration,
             num_speculative_branches=self.vcfg.num_speculative_branches,
             num_virtual_edges=self.vcfg.num_virtual_edges,
+            shard_backend_used=self.shard_backend_used,
         )
         stats = self.chooser.stats(self.vcfg.scenarios)
         result.num_virtual_edges_active = stats.virtual_edges_active
-        result.classifications = self._classify(fixpoint)
+        with span("classify", program=self.cfg.name) as classify_span:
+            result.classifications = self._classify(fixpoint)
+            classify_span.set(sites=len(result.classifications))
         return result
 
     # ------------------------------------------------------------------
@@ -460,6 +484,7 @@ class SpeculativeCacheAnalysis:
             for slot, slot_state in slots_in.items():
                 if slot not in pending or getattr(slot_state, "is_bottom", False):
                     continue
+                self._slot_transfers += 1
                 if slot[0] == "window":
                     deliveries.extend(
                         self._process_window_slot(
@@ -525,53 +550,60 @@ class SpeculativeCacheAnalysis:
         # delivery ever touches it.
         delta_for_shards: set[str] = {cfg.entry}
         no_slots: dict[str, dict[SlotKey, object]] = {name: {} for name in reachable}
+        round_index = 0
         while True:
-            # Phase 1: outer normal-state fixpoint (scenarios excluded).
-            phase1_changed: set[str] = set()
-            if pending_normal:
-                for block in pending_normal:
-                    normal_dirty[block].add(None)
-                iterations += self._run_sparse_pass(
-                    normal=normal,
-                    speculative=no_slots,
-                    dirty=normal_dirty,
-                    seeds=sorted(pending_normal, key=lambda b: order.get(b, 0)),
-                    order=order,
-                    chooser=None,
-                    scenarios_by_branch={},
-                    policy=no_widening,
-                    visits=visits,
-                    normal_changed=phase1_changed,
-                    description="sharded speculative fixpoint (normal phase)",
+            with span("fixpoint.round", round=round_index) as round_span:
+                round_index += 1
+                # Phase 1: outer normal-state fixpoint (scenarios excluded).
+                phase1_changed: set[str] = set()
+                if pending_normal:
+                    for block in pending_normal:
+                        normal_dirty[block].add(None)
+                    iterations += self._run_sparse_pass(
+                        normal=normal,
+                        speculative=no_slots,
+                        dirty=normal_dirty,
+                        seeds=sorted(pending_normal, key=lambda b: order.get(b, 0)),
+                        order=order,
+                        chooser=None,
+                        scenarios_by_branch={},
+                        policy=no_widening,
+                        visits=visits,
+                        normal_changed=phase1_changed,
+                        description="sharded speculative fixpoint (normal phase)",
+                    )
+                    pending_normal = set()
+                delta_for_shards |= phase1_changed
+                # Phase 2: per-shard sparse fixpoints against private copies of S.
+                seeded = [
+                    shard
+                    for shard in shards
+                    if delta_for_shards & shard.branch_blocks
+                    or any(shard.dirty[name] for name in shard.dirty)
+                ]
+                round_span.set(shards_seeded=len(seeded))
+                if not seeded:
+                    break
+                delta = delta_for_shards
+                delta_for_shards = set()
+                runs = self._run_shards(
+                    seeded, normal, delta, order, no_widening, parent_span=round_span
                 )
-                pending_normal = set()
-            delta_for_shards |= phase1_changed
-            # Phase 2: per-shard sparse fixpoints against private copies of S.
-            seeded = [
-                shard
-                for shard in shards
-                if delta_for_shards & shard.branch_blocks
-                or any(shard.dirty[name] for name in shard.dirty)
-            ]
-            if not seeded:
-                break
-            delta = delta_for_shards
-            delta_for_shards = set()
-            runs = self._run_shards(seeded, normal, delta, order, no_widening)
-            iterations += sum(pops for pops, _, _ in runs)
-            # Phase 3: deterministic join of the shard-local normal states.
-            joined_delta: set[str] = set()
-            for _, local_normal, local_changed in runs:
-                for block in sorted(local_changed, key=lambda b: order.get(b, 0)):
-                    current = normal[block]
-                    joined = current.join(local_normal[block])
-                    if not joined.leq(current):
-                        normal[block] = joined
-                        joined_delta.add(block)
-            if not joined_delta:
-                break
-            pending_normal = joined_delta
-            delta_for_shards = set(joined_delta)
+                iterations += sum(pops for pops, _, _ in runs)
+                # Phase 3: deterministic join of the shard-local normal states.
+                joined_delta: set[str] = set()
+                for _, local_normal, local_changed in runs:
+                    for block in sorted(local_changed, key=lambda b: order.get(b, 0)):
+                        current = normal[block]
+                        joined = current.join(local_normal[block])
+                        if not joined.leq(current):
+                            normal[block] = joined
+                            joined_delta.add(block)
+                round_span.set(joined_blocks=len(joined_delta))
+                if not joined_delta:
+                    break
+                pending_normal = joined_delta
+                delta_for_shards = set(joined_delta)
 
         # Merge the per-shard slot dictionaries and window decisions back
         # into the engine-level views used by classification.
@@ -615,36 +647,43 @@ class SpeculativeCacheAnalysis:
         delta: set[str],
         order: dict[str, int],
         policy: WideningPolicy,
+        parent_span=None,
     ) -> list[tuple[int, dict[str, object], set[str]]]:
         """Run one round of shard fixpoints; returns per-shard
         (pops, local normal states, blocks whose local normal changed),
         in shard order regardless of execution interleaving."""
 
         def run_one(shard: _Shard) -> tuple[int, dict[str, object], set[str]]:
-            local_normal = dict(normal)
-            seeds = []
-            for block in sorted(
-                delta & shard.branch_blocks, key=lambda b: order.get(b, 0)
-            ):
-                shard.dirty[block].add(None)
-            for block in shard.dirty:
-                if shard.dirty[block]:
-                    seeds.append(block)
-            seeds.sort(key=lambda b: order.get(b, 0))
-            local_changed: set[str] = set()
-            pops = self._run_sparse_pass(
-                normal=local_normal,
-                speculative=shard.slots,
-                dirty=shard.dirty,
-                seeds=seeds,
-                order=order,
-                chooser=shard.chooser,
-                scenarios_by_branch=shard.scenarios_by_branch,
-                policy=policy,
-                visits=shard.visits,
-                normal_changed=local_changed,
-                description=f"sharded speculative fixpoint (shard {shard.index})",
-            )
+            # Explicit parenting: on the threads backend this body runs on
+            # a pool thread whose own span stack is empty.
+            with tracer().child_span(
+                "fixpoint.shard", parent_span, shard=shard.index
+            ) as shard_span:
+                local_normal = dict(normal)
+                seeds = []
+                for block in sorted(
+                    delta & shard.branch_blocks, key=lambda b: order.get(b, 0)
+                ):
+                    shard.dirty[block].add(None)
+                for block in shard.dirty:
+                    if shard.dirty[block]:
+                        seeds.append(block)
+                seeds.sort(key=lambda b: order.get(b, 0))
+                local_changed: set[str] = set()
+                pops = self._run_sparse_pass(
+                    normal=local_normal,
+                    speculative=shard.slots,
+                    dirty=shard.dirty,
+                    seeds=seeds,
+                    order=order,
+                    chooser=shard.chooser,
+                    scenarios_by_branch=shard.scenarios_by_branch,
+                    policy=policy,
+                    visits=shard.visits,
+                    normal_changed=local_changed,
+                    description=f"sharded speculative fixpoint (shard {shard.index})",
+                )
+                shard_span.set(pops=pops, changed_blocks=len(local_changed))
             return pops, local_normal, local_changed
 
         if self.shard_threads and len(shards) > 1:
@@ -724,66 +763,87 @@ class SpeculativeCacheAnalysis:
         pending_normal: set[str] = {cfg.entry}
         delta_for_shards: set[str] = {cfg.entry}
         no_slots: dict[str, dict[SlotKey, object]] = {name: {} for name in reachable}
+        round_index = 0
         try:
             while True:
-                # Phase 1: outer normal-state fixpoint (master-side,
-                # identical to the serial backend's).
-                phase1_changed: set[str] = set()
-                if pending_normal:
-                    for block in pending_normal:
-                        normal_dirty[block].add(None)
-                    iterations += self._run_sparse_pass(
-                        normal=normal,
-                        speculative=no_slots,
-                        dirty=normal_dirty,
-                        seeds=sorted(pending_normal, key=lambda b: order.get(b, 0)),
-                        order=order,
-                        chooser=None,
-                        scenarios_by_branch={},
-                        policy=no_widening,
-                        visits=visits,
-                        normal_changed=phase1_changed,
-                        description="sharded speculative fixpoint (normal phase)",
+                with span("fixpoint.round", round=round_index) as round_span:
+                    round_index += 1
+                    # Phase 1: outer normal-state fixpoint (master-side,
+                    # identical to the serial backend's).
+                    phase1_changed: set[str] = set()
+                    if pending_normal:
+                        for block in pending_normal:
+                            normal_dirty[block].add(None)
+                        iterations += self._run_sparse_pass(
+                            normal=normal,
+                            speculative=no_slots,
+                            dirty=normal_dirty,
+                            seeds=sorted(pending_normal, key=lambda b: order.get(b, 0)),
+                            order=order,
+                            chooser=None,
+                            scenarios_by_branch={},
+                            policy=no_widening,
+                            visits=visits,
+                            normal_changed=phase1_changed,
+                            description="sharded speculative fixpoint (normal phase)",
+                        )
+                        pending_normal = set()
+                    delta_for_shards |= phase1_changed
+                    if not any(
+                        delta_for_shards & shard_branch_blocks[index]
+                        or shard_has_dirty[index]
+                        for index in range(shard_count)
+                    ):
+                        break
+                    # Phase 2: broadcast the delta, run the shard fixpoints
+                    # remotely.  Every worker gets the delta — mirrors must
+                    # track the master even in rounds where a worker's own
+                    # shards have nothing to do.  Workers collect their spans
+                    # locally (when asked) and relay them in the reply — they
+                    # must never write the master's trace file themselves.
+                    delta_blob = encode_state_map(
+                        {block: normal[block] for block in delta_for_shards}
                     )
-                    pending_normal = set()
-                delta_for_shards |= phase1_changed
-                if not any(
-                    delta_for_shards & shard_branch_blocks[index]
-                    or shard_has_dirty[index]
-                    for index in range(shard_count)
-                ):
-                    break
-                # Phase 2: broadcast the delta, run the shard fixpoints
-                # remotely.  Every worker gets the delta — mirrors must
-                # track the master even in rounds where a worker's own
-                # shards have nothing to do.
-                delta_blob = encode_state_map(
-                    {block: normal[block] for block in delta_for_shards}
-                )
-                delta_for_shards = set()
-                replies = pool.request_all([("round", delta_blob)] * num_workers)
-                by_shard: dict[int, tuple[int, bytes]] = {}
-                for reply in replies:
-                    for shard_index, pops, changed_blob, leftover_dirty in reply:
-                        by_shard[shard_index] = (pops, changed_blob)
-                        shard_has_dirty[shard_index] = leftover_dirty
-                # Phase 3: deterministic join, in shard order then block
-                # order — the serial schedule.
-                joined_delta: set[str] = set()
-                for shard_index in range(shard_count):
-                    pops, changed_blob = by_shard[shard_index]
-                    iterations += pops
-                    local_states = decode_state_map(changed_blob)
-                    for block in sorted(local_states, key=lambda b: order.get(b, 0)):
-                        current = normal[block]
-                        joined = current.join(local_states[block])
-                        if not joined.leq(current):
-                            normal[block] = joined
-                            joined_delta.add(block)
-                if not joined_delta:
-                    break
-                pending_normal = joined_delta
-                delta_for_shards = set(joined_delta)
+                    delta_for_shards = set()
+                    want_spans = tracer().enabled
+                    replies = pool.request_all(
+                        [("round", delta_blob, want_spans)] * num_workers
+                    )
+                    metrics().counter("codec.bytes_shipped").inc(
+                        len(delta_blob) * num_workers
+                    )
+                    reply_bytes = 0
+                    by_shard: dict[int, tuple[int, bytes]] = {}
+                    for shard_replies, worker_spans in replies:
+                        tracer().emit_foreign(worker_spans)
+                        for shard_index, pops, changed_blob, leftover_dirty in shard_replies:
+                            by_shard[shard_index] = (pops, changed_blob)
+                            shard_has_dirty[shard_index] = leftover_dirty
+                            reply_bytes += len(changed_blob)
+                    metrics().counter("codec.bytes_shipped").inc(reply_bytes)
+                    # Phase 3: deterministic join, in shard order then block
+                    # order — the serial schedule.
+                    joined_delta: set[str] = set()
+                    for shard_index in range(shard_count):
+                        pops, changed_blob = by_shard[shard_index]
+                        iterations += pops
+                        local_states = decode_state_map(changed_blob)
+                        for block in sorted(local_states, key=lambda b: order.get(b, 0)):
+                            current = normal[block]
+                            joined = current.join(local_states[block])
+                            if not joined.leq(current):
+                                normal[block] = joined
+                                joined_delta.add(block)
+                    round_span.set(
+                        delta_bytes=len(delta_blob),
+                        reply_bytes=reply_bytes,
+                        joined_blocks=len(joined_delta),
+                        workers=num_workers,
+                    )
+                    if not joined_delta:
+                        break
+                    pending_normal = joined_delta
+                    delta_for_shards = set(joined_delta)
             finals = pool.request_all([("finalize",)] * num_workers)
         finally:
             pool.close()
@@ -793,8 +853,9 @@ class SpeculativeCacheAnalysis:
         # order (matching the serial backend's merge loop).
         speculative: dict[str, dict[SlotKey, object]] = {name: {} for name in reachable}
         by_shard_final: dict[int, tuple[dict, DepthChooser]] = {}
-        for reply in finals:
-            for shard_index, slots, chooser in reply:
+        for entries, worker_metrics in finals:
+            metrics().absorb(worker_metrics)
+            for shard_index, slots, chooser in entries:
                 by_shard_final[shard_index] = (slots, chooser)
         for shard_index in range(shard_count):
             slots, chooser = by_shard_final[shard_index]
@@ -1038,6 +1099,9 @@ def _shard_worker_factory(
 ):
     """Picklable :class:`~repro.engine.pool.PersistentWorkerPool` entry
     point: builds one :class:`_ShardWorker` inside the worker process."""
+    # Fork-started workers inherit the master's metrics registry; reset it
+    # so the snapshot relayed at finalize only counts this worker's work.
+    metrics().clear()
     return _ShardWorker(program, cache_config, speculation, scenario_shards, shard_indices)
 
 
@@ -1083,59 +1147,79 @@ class _ShardWorker:
 
     def __call__(self, message: tuple):
         if message[0] == "round":
-            return self._round(message[1])
+            want_spans = bool(message[2]) if len(message) > 2 else False
+            return self._round(message[1], want_spans)
         if message[0] == "finalize":
             return self._finalize()
         raise ValueError(f"unknown shard-worker message {message[0]!r}")
 
-    def _round(self, delta_blob: bytes) -> list[tuple[int, int, bytes, bool]]:
+    def _round(
+        self, delta_blob: bytes, want_spans: bool = False
+    ) -> tuple[list[tuple[int, int, bytes, bool]], list[dict]]:
         """Run one fixpoint round for every owned shard; replies with
         ``(shard index, pops, encoded changed states, leftover dirty)``
-        per shard.  Mirrors :meth:`SpeculativeCacheAnalysis._run_shards`'
-        ``run_one`` exactly (a shard with no seeds pops nothing and
-        changes nothing, matching the serial backend's seeding filter).
+        per shard, plus the spans collected worker-side when the master
+        asked for them (it re-emits them into its own tree — workers
+        never write the trace file).  Mirrors
+        :meth:`SpeculativeCacheAnalysis._run_shards`' ``run_one`` exactly
+        (a shard with no seeds pops nothing and changes nothing, matching
+        the serial backend's seeding filter).
         """
         delta_states = decode_state_map(delta_blob)
         self.mirror.update(delta_states)
         delta = set(delta_states)
         order = self.order
         replies: list[tuple[int, int, bytes, bool]] = []
-        for shard in self.shards:
-            local_normal = dict(self.mirror)
-            for block in sorted(
-                delta & shard.branch_blocks, key=lambda b: order.get(b, 0)
-            ):
-                shard.dirty[block].add(None)
-            seeds = [block for block in shard.dirty if shard.dirty[block]]
-            seeds.sort(key=lambda b: order.get(b, 0))
-            local_changed: set[str] = set()
-            pops = self.analysis._run_sparse_pass(
-                normal=local_normal,
-                speculative=shard.slots,
-                dirty=shard.dirty,
-                seeds=seeds,
-                order=order,
-                chooser=shard.chooser,
-                scenarios_by_branch=shard.scenarios_by_branch,
-                policy=self.policy,
-                visits=shard.visits,
-                normal_changed=local_changed,
-                description=f"sharded speculative fixpoint (shard {shard.index})",
-            )
-            changed_blob = encode_state_map(
-                {block: local_normal[block] for block in local_changed}
-            )
-            leftover_dirty = any(shard.dirty[name] for name in shard.dirty)
-            replies.append((shard.index, pops, changed_blob, leftover_dirty))
-        return replies
+        spans: list[dict] = []
+        # Collection only when the master is tracing: otherwise the shard
+        # spans below stay on the disabled (duration-only) fast path.
+        collect = tracer().collecting() if want_spans else contextlib.nullcontext()
+        with collect as collected:
+            for shard in self.shards:
+                with span("fixpoint.shard", shard=shard.index) as shard_span:
+                    local_normal = dict(self.mirror)
+                    for block in sorted(
+                        delta & shard.branch_blocks, key=lambda b: order.get(b, 0)
+                    ):
+                        shard.dirty[block].add(None)
+                    seeds = [block for block in shard.dirty if shard.dirty[block]]
+                    seeds.sort(key=lambda b: order.get(b, 0))
+                    local_changed: set[str] = set()
+                    pops = self.analysis._run_sparse_pass(
+                        normal=local_normal,
+                        speculative=shard.slots,
+                        dirty=shard.dirty,
+                        seeds=seeds,
+                        order=order,
+                        chooser=shard.chooser,
+                        scenarios_by_branch=shard.scenarios_by_branch,
+                        policy=self.policy,
+                        visits=shard.visits,
+                        normal_changed=local_changed,
+                        description=f"sharded speculative fixpoint (shard {shard.index})",
+                    )
+                    changed_blob = encode_state_map(
+                        {block: local_normal[block] for block in local_changed}
+                    )
+                    shard_span.set(
+                        pops=pops,
+                        changed_blocks=len(local_changed),
+                        reply_bytes=len(changed_blob),
+                    )
+                leftover_dirty = any(shard.dirty[name] for name in shard.dirty)
+                replies.append((shard.index, pops, changed_blob, leftover_dirty))
+            if want_spans:
+                spans = collected.spans
+        return replies, spans
 
-    def _finalize(self) -> list[tuple[int, dict, DepthChooser]]:
+    def _finalize(self) -> tuple[list[tuple[int, dict, DepthChooser]], dict]:
         """Hand the accumulated shard state back to the master: the
         non-empty slot dictionaries and the per-shard chooser (both
         value-equal under pickling — slots hold the same abstract-state
         dataclasses the codec round-trips, and the chooser's windows are
-        frozen dataclasses compared by value everywhere)."""
-        return [
+        frozen dataclasses compared by value everywhere), plus this
+        worker's metrics snapshot for the master to absorb."""
+        entries = [
             (
                 shard.index,
                 {name: slots for name, slots in shard.slots.items() if slots},
@@ -1143,3 +1227,8 @@ class _ShardWorker:
             )
             for shard in self.shards
         ]
+        metrics().counter("fixpoint.slot_retransfers").inc(
+            self.analysis._slot_transfers
+        )
+        self.analysis._slot_transfers = 0
+        return entries, metrics().snapshot()

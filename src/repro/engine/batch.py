@@ -42,6 +42,7 @@ from repro.engine.pool import (
     shared_process_pool,
 )
 from repro.engine.request import AnalysisRequest
+from repro.obs import tracer
 
 __all__ = [
     "PersistentWorkerPool",
@@ -164,13 +165,21 @@ def _execute_on_pool(
     if pool is None:
         return None
     fresh: dict[int, object] = {}
+    want_spans = tracer().enabled
     try:
         futures = [
-            (unit, pool.submit(_execute_unit, [request for _, request in unit]))
+            (
+                unit,
+                pool.submit(
+                    _execute_unit, [request for _, request in unit], want_spans
+                ),
+            )
             for unit in units
         ]
         for unit, future in futures:
-            for (index, _), result in zip(unit, future.result()):
+            payload = future.result()
+            tracer().emit_foreign(payload["spans"])
+            for (index, _), result in zip(unit, payload["results"]):
                 fresh[index] = result
     except _POOL_COLLECT_FAILURES:
         # The pool broke mid-flight; retire it so the next batch starts
@@ -180,8 +189,17 @@ def _execute_on_pool(
     return fresh
 
 
-def _execute_unit(requests: list[AnalysisRequest]) -> list:
+def _execute_unit(requests: list[AnalysisRequest], want_spans: bool = False) -> dict:
     """Worker entry point: all requests in a unit share one compile_key,
-    so the source is compiled once and reused across analysis kinds."""
-    program = compile_request(requests[0])
-    return [execute_request(request, program=program) for request in requests]
+    so the source is compiled once and reused across analysis kinds.
+
+    The whole unit runs in the tracer's collect mode — a forked worker
+    must never write to the master's trace file (its fork-inherited sinks
+    may even share the open file descriptor).  The collected spans are
+    relayed in the reply when the master asked for them; it re-emits them
+    into its own tree.
+    """
+    with tracer().collecting() as collected:
+        program = compile_request(requests[0])
+        results = [execute_request(request, program=program) for request in requests]
+    return {"results": results, "spans": collected.spans if want_spans else []}

@@ -24,6 +24,7 @@ from typing import Any
 from repro.engine.cache import CacheStats, LRUCache
 from repro.engine.request import AnalysisKind, AnalysisRequest
 from repro.frontend import CompiledProgram, compile_source
+from repro.obs import span, stamp_for_request
 
 #: Default capacity of the compile cache (compiled CFGs are the largest
 #: objects the engine retains).
@@ -52,28 +53,42 @@ def execute_request(
 
     This is deterministic and side-effect free, so sequential execution,
     cached replay and process-pool fan-out all produce bit-identical
-    classifications for the same request.
+    classifications for the same request.  (The attached provenance stamp
+    carries a wall-clock timestamp, but it is observational —
+    ``compare=False``, excluded from fingerprints — so determinism of the
+    *verdict* is unaffected.)
     """
     # Imported lazily: the analyses' fixpoint loops import the worklist
     # kernel from this package, so a module-level import would be circular.
     from repro.analysis.baseline import analyze_baseline
     from repro.analysis.speculative import analyze_speculative
 
-    if program is None:
-        program = compile_request(request)
-    if request.kind is AnalysisKind.BASELINE:
-        return analyze_baseline(
-            program,
-            cache_config=request.cache_config,
-            use_shadow_state=request.use_shadow_state,
+    with span(
+        "analyze", kind=request.kind.value, label=request.label
+    ) as analyze_span:
+        if program is None:
+            program = compile_request(request)
+        if request.kind is AnalysisKind.BASELINE:
+            result = analyze_baseline(
+                program,
+                cache_config=request.cache_config,
+                use_shadow_state=request.use_shadow_state,
+            )
+        else:
+            result = analyze_speculative(
+                program,
+                cache_config=request.cache_config,
+                speculation=request.speculation,
+                scenario_shards=request.scenario_shards,
+                shard_backend=request.shard_backend,
+            )
+        result.provenance = stamp_for_request(
+            request, backend=result.shard_backend_used
         )
-    return analyze_speculative(
-        program,
-        cache_config=request.cache_config,
-        speculation=request.speculation,
-        scenario_shards=request.scenario_shards,
-        shard_backend=request.shard_backend,
-    )
+        analyze_span.set(
+            result_key=request.result_key(), iterations=result.iterations
+        )
+    return result
 
 
 @dataclass
@@ -140,11 +155,16 @@ class AnalysisEngine:
         computation, not the lookup).
         """
         self._requests += 1
-        cached = self._lookup_result(request)
-        if cached is not None:
-            return _copy_result(cached, from_cache=True)
-        result = execute_request(request, program=program or self.compile(request))
-        self._store_result(request, result)
+        with span("engine.run", kind=request.kind.value) as run_span:
+            cached = self._lookup_result(request)
+            if cached is not None:
+                run_span.set(cache_hit=True)
+                return _copy_result(cached, from_cache=True)
+            result = execute_request(
+                request, program=program or self.compile(request)
+            )
+            self._store_result(request, result)
+            run_span.set(cache_hit=False)
         return _copy_result(result)
 
     def seed_program(self, request: AnalysisRequest, program: CompiledProgram) -> None:
@@ -233,7 +253,8 @@ class AnalysisEngine:
         self._result_cache.put(key, result)
         if self._result_store is not None:
             try:
-                self._result_store.put(key, result)
+                with span("store.write", key=key[:16]):
+                    self._result_store.put(key, result)
             except OSError:
                 # Tier 2 is best-effort: a full or read-only disk must
                 # not fail a request whose result is already in hand.

@@ -1,7 +1,8 @@
 """Process-pool primitives shared by the batch executor and the sharded
 analysis engine.
 
-This module deliberately imports nothing from the rest of the package:
+This module deliberately imports nothing from the rest of the package
+except :mod:`repro.obs` (which itself imports nothing from ``repro``):
 it sits below both :mod:`repro.engine.batch` (which fans analysis
 batches out over the shared executor) and
 :mod:`repro.analysis.multicolor` (whose process shard backend keeps
@@ -28,6 +29,8 @@ import threading
 import traceback
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Any, Callable, Sequence
+
+from repro.obs import metrics
 
 #: Failures while *standing up* a pool (sandboxes without semaphores,
 #: restricted containers) that demote callers to in-process execution.
@@ -91,6 +94,8 @@ def shared_process_pool(max_workers: int) -> ProcessPoolExecutor | None:
             return None
         _shared_pool = pool
         _shared_pool_size = max_workers
+        metrics().counter("pool.executors_started").inc()
+        metrics().gauge("pool.executor_size").set(max_workers)
         return pool
 
 
@@ -196,11 +201,14 @@ class PersistentWorkerPool:
                         f"worker {index} failed to initialise:\n{payload}"
                     )
         except WorkerPoolError:
+            metrics().counter("pool.worker_failures").inc()
             self.close()
             raise
         except _POOL_SETUP_FAILURES as error:
+            metrics().counter("pool.worker_failures").inc()
             self.close()
             raise WorkerPoolError(f"could not start worker processes: {error}") from error
+        metrics().counter("pool.workers_started").inc(len(self._procs))
 
     @property
     def num_workers(self) -> int:
@@ -211,13 +219,17 @@ class PersistentWorkerPool:
         try:
             self._conns[worker].send(message)
         except (OSError, ValueError) as error:
+            metrics().counter("pool.worker_failures").inc()
             raise WorkerPoolError(f"worker {worker} is gone: {error}") from error
+        metrics().counter("pool.dispatches").inc()
 
     def result(self, worker: int) -> Any:
         """Collect ``worker``'s next reply (blocking)."""
         kind, payload = self._recv(worker)
         if kind == "ok":
+            metrics().counter("pool.replies").inc()
             return payload
+        metrics().counter("pool.worker_failures").inc()
         raise WorkerPoolError(f"worker {worker} raised:\n{payload}")
 
     def request_all(self, messages: Sequence[Any]) -> list:

@@ -18,6 +18,7 @@ from repro.ir.memory import MemoryLayout
 from repro.ir.unroll import UnrollStats, unroll_fixed_loops
 from repro.lang.parser import parse_program
 from repro.lang.typecheck import ProgramInfo, check_program
+from repro.obs import span
 
 
 @dataclass
@@ -69,23 +70,30 @@ def compile_source(
     inline:
         Inline calls to user-defined functions into the entry function.
     """
-    program = parse_program(source)
-    if unroll:
-        program, unroll_stats = unroll_fixed_loops(
-            program, max_iterations=max_unroll_iterations
-        )
-    else:
-        unroll_stats = UnrollStats()
-    info = check_program(program)
-    cfgs = lower_program(info)
-    if not cfgs:
-        raise ReproError("program defines no functions")
-    entry_name = _pick_entry(entry, cfgs)
-    if inline:
-        entry_cfg = inline_calls(cfgs, entry_name, info)
-    else:
-        entry_cfg = cfgs[entry_name]
-    layout = MemoryLayout.from_program(info, line_size=line_size)
+    with span("frontend", bytes=len(source)) as frontend_span:
+        with span("parse"):
+            program = parse_program(source)
+        with span("unroll") as unroll_span:
+            if unroll:
+                program, unroll_stats = unroll_fixed_loops(
+                    program, max_iterations=max_unroll_iterations
+                )
+            else:
+                unroll_stats = UnrollStats()
+            unroll_span.set(loops=unroll_stats.loops_unrolled)
+        with span("lower"):
+            info = check_program(program)
+            cfgs = lower_program(info)
+        if not cfgs:
+            raise ReproError("program defines no functions")
+        entry_name = _pick_entry(entry, cfgs)
+        with span("inline"):
+            if inline:
+                entry_cfg = inline_calls(cfgs, entry_name, info)
+            else:
+                entry_cfg = cfgs[entry_name]
+        layout = MemoryLayout.from_program(info, line_size=line_size)
+        frontend_span.set(entry=entry_name, blocks=len(entry_cfg.blocks))
     return CompiledProgram(
         source=source,
         info=info,

@@ -26,7 +26,6 @@ engine, and anything but zero leak sites raises :class:`MitigationError`.
 from __future__ import annotations
 
 import hashlib
-import time
 from dataclasses import dataclass, field, replace
 
 from repro.apps.sidechannel import LeakSite
@@ -47,6 +46,7 @@ from repro.mitigation.placement import (
     placement_cycles,
     surviving_branch_points,
 )
+from repro.obs import span
 
 #: Synthesis gives up after this many greedy rounds (each round adds one
 #: fence point); programs needing more are declared unmitigable by the
@@ -174,12 +174,27 @@ def synthesize_mitigation(
     every placement, so a returned result always carries a placement
     whose patched program re-analysed to zero leak sites.
     """
-    started = time.perf_counter()
     eng = engine or default_engine()
     if request.kind is not AnalysisKind.SPECULATIVE:
         request = replace(request, kind=AnalysisKind.SPECULATIVE)
     label = request.label or request.entry or "<program>"
 
+    # The public `synthesis_time` is derived from the span's duration:
+    # the span always times itself, sinks or not.
+    with span("mitigate", program=label, optimize=optimize) as mitigate_span:
+        result = _synthesize(request, eng, optimize, max_rounds, label, mitigate_span)
+    result.synthesis_time = mitigate_span.duration
+    return result
+
+
+def _synthesize(
+    request: AnalysisRequest,
+    eng: AnalysisEngine,
+    optimize: bool,
+    max_rounds: int,
+    label: str,
+    mitigate_span,
+) -> MitigationResult:
     unpatched = eng.run(request)
     leaks = unpatched.secret_dependent_classifications()
     program = eng.compile(request)
@@ -201,20 +216,27 @@ def synthesize_mitigation(
         unpatched_wcet_cycles=unpatched_cycles,
         analyses_run=1,
     )
+    mitigate_span.set(leak_sites_before=len(leaks))
     if not leaks:
-        result.synthesis_time = time.perf_counter() - started
         return result
 
     def evaluate(points: tuple[FencePoint, ...], strategy: str) -> PlacementOutcome:
-        patched_ast = apply_fence_points(program_ast, points)
-        source = program_to_source(patched_ast)
-        patched_request = replace(request, source=source, label=f"{label}+fences")
-        analysed = eng.run(patched_request)
-        result.analyses_run += 1
-        ir_fences = count_ir_fences(eng.compile(patched_request))
-        cycles = placement_cycles(
-            analysed.hit_count, analysed.miss_count, cache_config, ir_fences
-        )
+        with span(
+            "mitigate.candidate", strategy=strategy, fence_points=len(points)
+        ) as candidate_span:
+            patched_ast = apply_fence_points(program_ast, points)
+            source = program_to_source(patched_ast)
+            patched_request = replace(request, source=source, label=f"{label}+fences")
+            analysed = eng.run(patched_request)
+            result.analyses_run += 1
+            ir_fences = count_ir_fences(eng.compile(patched_request))
+            cycles = placement_cycles(
+                analysed.hit_count, analysed.miss_count, cache_config, ir_fences
+            )
+            candidate_span.set(
+                leak_sites_after=analysed.leak_site_count,
+                verified=analysed.leak_site_count == 0,
+            )
         return PlacementOutcome(
             strategy=strategy,
             points=tuple(points),
@@ -248,7 +270,7 @@ def synthesize_mitigation(
         )
 
     _verify(result, request, eng, label)
-    result.synthesis_time = time.perf_counter() - started
+    mitigate_span.set(chosen=result.chosen, analyses_run=result.analyses_run)
     return result
 
 

@@ -1,0 +1,60 @@
+"""Unified telemetry: metrics, tracing spans, and run provenance.
+
+This package is the system's self-knowledge layer.  It is deliberately
+**dependency-free within the code base** — it imports nothing from the
+rest of :mod:`repro`, so every other layer (the worklist kernel, the
+engine, the process pools, the service) can instrument itself without
+import cycles.
+
+Three facilities live here:
+
+* :mod:`repro.obs.metrics` — a process-wide **metrics registry** of
+  counters, gauges and fixed-bucket histograms.  The ad-hoc stats
+  dataclasses (``EngineStats``, ``SchedulerStats``, store and pool
+  counters) stay as the per-instance sources of truth; the registry is
+  where cross-cutting counters that have no natural owner (fixpoint
+  pops, dirty-slot re-transfers, codec bytes, pool dispatches) land,
+  and :func:`repro.obs.metrics.MetricsRegistry.snapshot` is the one
+  JSON-friendly view of all of them.
+* :mod:`repro.obs.tracing` — **structured tracing**: nestable spans with
+  monotonic timings and attributes, a thread-safe JSON-lines exporter
+  (activated by ``REPRO_TRACE=<path>`` or ``--trace``), an in-memory
+  ring buffer the daemon serves over the ``trace`` RPC, and a *collect*
+  mode worker processes use to relay their spans back through their
+  existing reply channels instead of racing on the output file.
+* :mod:`repro.obs.provenance` — **provenance stamps**: a replayable
+  record (source hash, full request configuration, engine version,
+  backend used) attached to every analysis result and stored artifact.
+
+Telemetry is observational by contract: spans and metrics never
+participate in result keys, result equality, or the deterministic
+schedule, and the whole layer is a no-op fast path when disabled —
+pinned by differential tests in ``tests/test_obs.py``.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, metrics
+from repro.obs.provenance import ProvenanceStamp, stamp_for_request
+from repro.obs.tracing import (
+    Span,
+    SpanBuffer,
+    Tracer,
+    current_span,
+    span,
+    tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ProvenanceStamp",
+    "Span",
+    "SpanBuffer",
+    "Tracer",
+    "current_span",
+    "metrics",
+    "span",
+    "stamp_for_request",
+    "tracer",
+]

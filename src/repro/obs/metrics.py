@@ -1,0 +1,215 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+One process-wide :class:`MetricsRegistry` (reachable via
+:func:`metrics`) unifies the counters that previously lived only in
+scattered per-instance dataclasses or nowhere at all.  Instruments are
+created on first use and are thread-safe; names are dotted paths
+(``fixpoint.pops``, ``pool.dispatches``, ``codec.bytes_shipped``), and
+:meth:`MetricsRegistry.snapshot` renders everything as one JSON-friendly
+dict for the daemon's ``stats`` RPC and ``repro stats --json``.
+
+Instruments never feed back into analysis decisions — they are written,
+never read, by the instrumented code — so their presence cannot perturb
+result keys or the deterministic schedule.  The hot-path discipline is
+to accumulate into local variables inside a fixpoint and publish once
+per solve (see :mod:`repro.analysis.multicolor`), keeping the per-pop
+cost at zero even when telemetry is active.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Mapping, Sequence
+
+#: Default histogram bucket edges, in seconds: spans analysis phases from
+#: sub-millisecond transfers to multi-minute service jobs.
+DEFAULT_TIME_EDGES = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0
+)
+
+
+class Counter:
+    """A monotonically increasing integer instrument."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A settable point-in-time value."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket-edge histogram with count/sum/min/max accounting.
+
+    ``edges`` are the *upper* bounds of the finite buckets; observations
+    above the last edge land in the implicit overflow bucket.  Edges are
+    fixed at creation so concurrent observers never disagree about the
+    bucket layout, and snapshots are mergeable across processes.
+    """
+
+    __slots__ = ("name", "edges", "_buckets", "_count", "_sum", "_min", "_max", "_lock")
+
+    def __init__(self, name: str, edges: Sequence[float] = DEFAULT_TIME_EDGES):
+        if list(edges) != sorted(edges) or len(set(edges)) != len(edges):
+            raise ValueError(f"histogram edges must be strictly increasing: {edges!r}")
+        self.name = name
+        self.edges = tuple(float(edge) for edge in edges)
+        self._buckets = [0] * (len(self.edges) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.edges, value)
+        with self._lock:
+            self._buckets[index] += 1
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "type": "histogram",
+                "edges": list(self.edges),
+                "buckets": list(self._buckets),
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+            }
+
+
+class MetricsRegistry:
+    """A named collection of instruments, created on first use.
+
+    Re-requesting a name returns the same instrument; requesting an
+    existing name as a different instrument type raises, so two call
+    sites can never silently split one logical metric.
+    """
+
+    def __init__(self):
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, kind, factory):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, kind):
+                raise TypeError(
+                    f"metric {name!r} is a {type(instrument).__name__}, "
+                    f"not a {kind.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, edges: Sequence[float] = DEFAULT_TIME_EDGES
+    ) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(name, edges))
+
+    def snapshot(self) -> dict[str, dict]:
+        """All instruments as one JSON-friendly ``{name: payload}`` dict,
+        sorted by name for stable output."""
+        with self._lock:
+            instruments = list(self._instruments.items())
+        return {name: instrument.to_dict() for name, instrument in sorted(instruments)}
+
+    def absorb(self, snapshot: Mapping[str, Mapping]) -> None:
+        """Merge a foreign :meth:`snapshot` (e.g. relayed from a worker
+        process) into this registry: counters add, gauges overwrite,
+        histograms merge bucket-wise (edges must match)."""
+        for name, payload in snapshot.items():
+            kind = payload.get("type")
+            if kind == "counter":
+                self.counter(name).inc(int(payload["value"]))
+            elif kind == "gauge":
+                self.gauge(name).set(float(payload["value"]))
+            elif kind == "histogram":
+                histogram = self.histogram(name, tuple(payload["edges"]))
+                if list(histogram.edges) != [float(e) for e in payload["edges"]]:
+                    continue  # incompatible layout; drop rather than corrupt
+                with histogram._lock:
+                    for index, count in enumerate(payload["buckets"]):
+                        histogram._buckets[index] += int(count)
+                    histogram._count += int(payload["count"])
+                    histogram._sum += float(payload["sum"])
+                    for value in (payload.get("min"), payload.get("max")):
+                        if value is None:
+                            continue
+                        value = float(value)
+                        if histogram._min is None or value < histogram._min:
+                            histogram._min = value
+                        if histogram._max is None or value > histogram._max:
+                            histogram._max = value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+
+
+_registry = MetricsRegistry()
+
+
+def metrics() -> MetricsRegistry:
+    """The process-wide registry."""
+    return _registry

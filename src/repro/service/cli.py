@@ -7,7 +7,15 @@ Subcommands::
     repro wcet         Table-5-shaped WCET comparison for benchmark kernels
     repro sidechannel  Table-7-shaped leak detection for crypto kernels
     repro mitigate     synthesise verified fence placements that close leaks
-    repro stats        engine / scheduler / store statistics of a running daemon
+    repro stats        engine / scheduler / store / metrics of a running daemon
+    repro trace        span tree of one daemon job (by job id)
+
+``repro serve --trace PATH`` (or the ``REPRO_TRACE`` environment
+variable, which works for every command) additionally streams every
+completed span to ``PATH`` as JSON lines; the daemon always keeps a
+bounded in-memory span buffer, so ``repro trace <job-id>`` works with no
+trace file configured.  ``repro submit`` prints the id of the job that
+served it when talking to a daemon.
 
 ``wcet``, ``sidechannel``, ``mitigate`` and ``stats`` accept ``--json``,
 printing machine-readable rows for CI and scripts.  ``submit``, ``wcet``,
@@ -94,6 +102,13 @@ def _backend(args: argparse.Namespace):
 # repro serve
 # ----------------------------------------------------------------------
 def cmd_serve(args: argparse.Namespace) -> int:
+    if args.trace:
+        # The tracer mirrors REPRO_TRACE on every enabled check, so
+        # setting it here (before any span opens) attaches the JSONL
+        # sink for the daemon's whole lifetime.
+        import os
+
+        os.environ["REPRO_TRACE"] = args.trace
     server = ReproServer(
         store_dir=None if args.no_store else args.store_dir,
         host=args.host,
@@ -212,6 +227,10 @@ def cmd_submit(args: argparse.Namespace) -> int:
     else:
         with open(args.source, "r", encoding="utf-8") as handle:
             source = handle.read()
+    if getattr(args, "trace", None):
+        import os
+
+        os.environ["REPRO_TRACE"] = args.trace
     request = _build_request(args, source)
     backend = _backend(args)
     try:
@@ -219,6 +238,9 @@ def cmd_submit(args: argparse.Namespace) -> int:
     finally:
         backend.close()
     _print_result(wire, args.json)
+    job_id = getattr(getattr(backend, "client", None), "last_job_id", None)
+    if job_id and not args.json:
+        print(f"  job: {job_id}  (span tree: repro trace {job_id})")
     if args.verify:
         direct = execute_request(request)
         served, recomputed = result_fingerprint(wire), result_fingerprint(direct)
@@ -511,6 +533,72 @@ def cmd_stats(args: argparse.Namespace) -> int:
         f"{sched['failed']} failed, {sched['queued']} queued, "
         f"{sched['running']} running"
     )
+    if "sharded_jobs" in sched:
+        print(
+            f"sharding     : {sched['sharded_jobs']} sharded jobs, "
+            f"{sched['fanout_dispatches']} fan-out dispatches"
+        )
+    registry = stats.get("metrics") or {}
+    if registry:
+        print("metrics      :")
+        for name, entry in sorted(registry.items()):
+            if entry.get("type") == "histogram":
+                print(f"  {name:26s} count={entry['count']} sum={entry['sum']:.6f}")
+            else:
+                print(f"  {name:26s} {entry['value']}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro trace
+# ----------------------------------------------------------------------
+def _render_span_tree(spans: list[dict]) -> list[str]:
+    """Indent spans by parent relation (completion order preserved
+    within siblings; orphans — parents evicted from the ring buffer —
+    print as roots)."""
+    by_id = {s["span_id"]: s for s in spans}
+    children: dict = {}
+    roots = []
+    for s in spans:
+        parent = s.get("parent_id")
+        if parent in by_id:
+            children.setdefault(parent, []).append(s)
+        else:
+            roots.append(s)
+    for group in children.values():
+        group.sort(key=lambda s: s.get("ts", 0.0))
+    roots.sort(key=lambda s: s.get("ts", 0.0))
+
+    lines: list[str] = []
+
+    def walk(s: dict, depth: int) -> None:
+        attrs = ", ".join(
+            f"{key}={value}" for key, value in sorted((s.get("attrs") or {}).items())
+        )
+        lines.append(
+            f"{'  ' * depth}{s['name']}  {s['duration'] * 1000:.3f}ms"
+            + (f"  [{attrs}]" if attrs else "")
+        )
+        for child in children.get(s["span_id"], ()):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return lines
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    with ServiceClient(host=args.host, port=args.port) as client:
+        spans = client.trace(args.job_id)
+    if args.json:
+        print(json.dumps(spans, indent=2, sort_keys=True))
+        return 0
+    if not spans:
+        print(f"no spans buffered for job {args.job_id} "
+              "(evicted from the ring buffer, or the job has not run yet)")
+        return 1
+    for line in _render_span_tree(spans):
+        print(line)
     return 0
 
 
@@ -549,6 +637,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run without the on-disk result store")
     serve.add_argument("--max-workers", type=int, default=2)
     serve.add_argument("--batch-size", type=int, default=8)
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="write every completed span to PATH as JSON lines "
+                            "(equivalent to REPRO_TRACE=PATH)")
     serve.set_defaults(func=cmd_serve)
 
     submit = sub.add_parser("submit", help="analyse one MiniC source file")
@@ -577,6 +668,10 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--json", action="store_true", help="print the raw wire result")
     submit.add_argument("--verify", action="store_true",
                         help="recompute in-process and assert identical results")
+    submit.add_argument("--trace", default=None, metavar="PATH",
+                        help="write this process's spans to PATH as JSON lines "
+                             "(covers --local and --verify execution; daemon-side "
+                             "spans are served by 'repro trace')")
     _add_connection_args(submit)
     submit.set_defaults(func=cmd_submit)
 
@@ -619,6 +714,13 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--json", action="store_true")
     _add_connection_args(stats, local_ok=False)
     stats.set_defaults(func=cmd_stats)
+
+    trace = sub.add_parser("trace", help="span tree of one daemon job")
+    trace.add_argument("job_id", help="job id as printed by 'repro submit'")
+    trace.add_argument("--json", action="store_true",
+                       help="print the raw span dicts")
+    _add_connection_args(trace, local_ok=False)
+    trace.set_defaults(func=cmd_trace)
 
     return parser
 

@@ -51,6 +51,8 @@ class ServiceClient:
         self._reader = self._sock.makefile("rb")
         self._lock = threading.Lock()
         self._broken = False
+        #: Job id of the most recent :meth:`analyze` round trip.
+        self.last_job_id: str | None = None
 
     # ------------------------------------------------------------------
     # Transport
@@ -128,13 +130,18 @@ class ServiceClient:
         priority: str | None = None,
         timeout: float | None = None,
     ) -> dict:
-        """Submit + wait in one round trip; returns the wire-form result."""
+        """Submit + wait in one round trip; returns the wire-form result.
+
+        The id of the job that served the call is kept in
+        :attr:`last_job_id` (for ``repro trace``).
+        """
         response = self.call(
             "analyze",
             request=request_to_wire(request),
             priority=priority,
             timeout=timeout,
         )
+        self.last_job_id = response.get("job_id")
         return response["result"]
 
     def mitigate(self, request: AnalysisRequest, optimize: bool = True) -> dict:
@@ -149,6 +156,11 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self.call("stats")["stats"]
+
+    def trace(self, job_id: str) -> list[dict]:
+        """Completed spans of the dispatch that executed ``job_id``
+        (empty when the daemon's span buffer has already recycled them)."""
+        return self.call("trace", job_id=job_id)["spans"]
 
     def shutdown(self) -> None:
         self.call("shutdown")

@@ -37,6 +37,7 @@ from enum import Enum, IntEnum
 from repro.analysis.multicolor import resolve_shard_backend
 from repro.engine.engine import AnalysisEngine
 from repro.engine.request import AnalysisKind, AnalysisRequest
+from repro.obs import span
 
 #: How many queued jobs one worker may claim per dispatch; batching lets
 #: ``engine.run_batch`` deduplicate and share compiles within the claim.
@@ -402,24 +403,38 @@ class JobScheduler:
                 return
             if not batch:
                 continue
-            try:
-                results = self.engine.run_batch([job.request for job in batch])
-            except Exception:
-                # A batch-level failure says nothing about which request
-                # is at fault — retry them individually so healthy jobs
-                # still complete and only the offender fails.
-                results = None
-            if results is not None:
-                for job, result in zip(batch, results):
-                    self._finish(job, result=result)
-            else:
-                for job in batch:
-                    try:
-                        result = self.engine.run(job.request)
-                    except Exception as error:  # noqa: BLE001 — job-level report
-                        self._finish(job, error=error)
-                    else:
+            # The dispatch span carries the claimed job ids, so the
+            # daemon's ``trace`` RPC can find the whole execution tree of
+            # one job (every engine/fixpoint span nests under this one).
+            with span(
+                "scheduler.batch",
+                job_ids=[job.id for job in batch],
+                jobs=len(batch),
+                queued_seconds=round(
+                    max(job.started_at - job.submitted_at for job in batch), 6
+                ),
+            ) as batch_span:
+                try:
+                    results = self.engine.run_batch([job.request for job in batch])
+                except Exception:
+                    # A batch-level failure says nothing about which request
+                    # is at fault — retry them individually so healthy jobs
+                    # still complete and only the offender fails.
+                    results = None
+                if results is not None:
+                    for job, result in zip(batch, results):
                         self._finish(job, result=result)
+                else:
+                    batch_span.set(retried_individually=True)
+                    for job in batch:
+                        with span("scheduler.job", job_id=job.id) as job_span:
+                            try:
+                                result = self.engine.run(job.request)
+                            except Exception as error:  # noqa: BLE001 — job-level report
+                                job_span.set(failed=True)
+                                self._finish(job, error=error)
+                            else:
+                                self._finish(job, result=result)
 
     def _finish(self, job: Job, result=None, error: Exception | None = None) -> None:
         with self._lock:

@@ -16,9 +16,16 @@ status   ``job_id``                                    ``job`` (status dict)
 result   ``job_id``, ``timeout`` (seconds, optional)   ``job``, ``result``
 analyze  ``request``, ``priority``, ``timeout``        submit + wait in one call
 mitigate ``request``, ``optimize``                     ``mitigation`` (wire form)
-stats    —                                             engine/scheduler/store
+stats    —                                             engine/scheduler/store/metrics
+trace    ``job_id``                                    ``spans`` (completed span dicts)
 shutdown —                                             acknowledgement
 ======== ============================================= =========================
+
+The server keeps a bounded in-memory :class:`~repro.obs.SpanBuffer`
+attached to the process tracer, so the ``trace`` op can return the span
+tree of any recently executed job (matched through the scheduler
+dispatch span's ``job_ids`` attribute) without any trace file being
+configured.
 
 ``mitigate`` runs the full detect → repair → re-verify synthesis of
 :mod:`repro.mitigation` on the server's engine (so all intermediate
@@ -41,6 +48,7 @@ import time
 from repro.engine.cache import LRUCache
 from repro.engine.engine import AnalysisEngine
 from repro.mitigation import mitigation_key, synthesize_mitigation
+from repro.obs import SpanBuffer, metrics, tracer
 from repro.service.scheduler import JobScheduler, JobState
 from repro.service.store import ResultStore
 from repro.service.wire import (
@@ -84,6 +92,12 @@ class ReproServer:
         self._mitigation_gate = threading.BoundedSemaphore(max(1, max_workers))
         self._mitigation_locks: dict[str, threading.Lock] = {}
         self._mitigation_locks_mutex = threading.Lock()
+        # Completed spans of recent dispatches, served by the ``trace``
+        # op.  The buffer is a plain tracer sink — attaching it also
+        # *enables* tracing for this process, which is the point: a
+        # daemon is observable by default.
+        self.trace_buffer = SpanBuffer()
+        tracer().add_sink(self.trace_buffer)
         self._stopping = threading.Event()
         self._threads: list[threading.Thread] = []
         self._listener = socket.create_server((host, port), reuse_port=False)
@@ -131,6 +145,7 @@ class ReproServer:
 
     def stop(self) -> None:
         self._stopping.set()
+        tracer().remove_sink(self.trace_buffer)
         try:
             self._listener.close()
         except OSError:
@@ -287,8 +302,18 @@ class ReproServer:
                 None if engine_stats.store is None else vars(engine_stats.store)
             ),
             "scheduler": vars(self.scheduler.stats),
+            # Process-wide registry: pool.*, store.*, fixpoint.*, codec.*
+            # counters from every subsystem that ran in this daemon.
+            "metrics": metrics().snapshot(),
         }
         return {"ok": True, "stats": payload}
+
+    def _op_trace(self, message: dict) -> dict:
+        """Completed spans of the dispatch that executed ``job_id``."""
+        job_id = str(message.get("job_id"))
+        if self.scheduler.job(job_id) is None:
+            return {"ok": False, "error": f"unknown job {job_id!r}"}
+        return {"ok": True, "spans": self.trace_buffer.trace_for_job(job_id)}
 
     def _op_shutdown(self, message: dict) -> dict:
         return {"ok": True, "stopping": True}

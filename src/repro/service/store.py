@@ -33,6 +33,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
 
+from repro.obs import metrics
+
 #: Bump whenever the pickled payload layout changes incompatibly; every
 #: entry written under an older version is evicted on first read.
 STORE_FORMAT_VERSION = 1
@@ -202,6 +204,7 @@ class ResultStore:
                 pass
             raise
         self._count("writes")
+        metrics().counter("store.bytes_written").inc(len(blob))
 
     # ------------------------------------------------------------------
     # Maintenance / introspection
@@ -247,6 +250,7 @@ class ResultStore:
     def _count(self, field_name: str, amount: int = 1) -> None:
         with self._stats_lock:
             setattr(self.stats, field_name, getattr(self.stats, field_name) + amount)
+        metrics().counter(f"store.{field_name}").inc(amount)
 
     def _evict(self, path: Path, reason_field: str) -> None:
         try:
@@ -256,3 +260,5 @@ class ResultStore:
         with self._stats_lock:
             setattr(self.stats, reason_field, getattr(self.stats, reason_field) + 1)
             self.stats.misses += 1
+        metrics().counter(f"store.{reason_field}").inc()
+        metrics().counter("store.misses").inc()

@@ -199,12 +199,21 @@ def result_to_wire(result: CacheAnalysisResult) -> dict:
         "classifications": classifications,
         "analysis_time": result.analysis_time,
         "from_cache": result.from_cache,
+        "provenance": (
+            None
+            if getattr(result, "provenance", None) is None
+            else result.provenance.to_wire()
+        ),
     }
 
 
 #: Wire-result keys that describe *how* a result was produced rather
 #: than *what* was computed; excluded from the semantic fingerprint.
-_PROVENANCE_KEYS = ("analysis_time", "from_cache")
+#: The provenance stamp carries a wall-clock timestamp and the executing
+#: backend, so it must never enter the digest — "replayed from the
+#: store" and "recomputed on another backend" compare equal exactly when
+#: the verdicts are bit-identical.
+_PROVENANCE_KEYS = ("analysis_time", "from_cache", "provenance")
 
 
 def result_fingerprint(result: "CacheAnalysisResult | Mapping[str, Any]") -> str:

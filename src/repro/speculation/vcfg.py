@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from repro.ir.cfg import CFG
 from repro.ir.dominators import postdominator_tree
 from repro.ir.instructions import CondBranch, Fence, MemoryRef
+from repro.obs import span
 from repro.speculation.config import SpeculationConfig
 
 
@@ -243,7 +244,9 @@ def build_vcfg(cfg: CFG, config: SpeculationConfig) -> VirtualCFG:
     with _vcfg_memo_lock:
         scenarios = _vcfg_memo.get(key)
     if scenarios is None:
-        scenarios = _compute_scenarios(cfg, config)
+        with span("vcfg", program=cfg.name) as vcfg_span:
+            scenarios = _compute_scenarios(cfg, config)
+            vcfg_span.set(scenarios=len(scenarios))
         with _vcfg_memo_lock:
             if key not in _vcfg_memo:
                 _vcfg_memo[key] = scenarios

@@ -1,0 +1,346 @@
+"""Tests for the telemetry layer (:mod:`repro.obs`).
+
+The contract under test is observational soundness: metrics, spans and
+provenance stamps may describe an analysis, but they must never change
+one.  The determinism tests run identical requests with tracing on and
+off across every shard backend and compare full wire fingerprints; the
+exporter tests pin the JSONL invariants (every line parses, spans nest,
+concurrent writers never interleave); the provenance tests replay a
+stamp back into a request and demand the identical verdict.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pickle
+import threading
+
+import pytest
+
+from repro.analysis.result import CacheAnalysisResult
+from repro.engine.engine import AnalysisEngine, execute_request
+from repro.engine.request import AnalysisRequest
+from repro.obs import (
+    MetricsRegistry,
+    ProvenanceStamp,
+    SpanBuffer,
+    metrics,
+    span,
+    stamp_for_request,
+    tracer,
+)
+from repro.obs.tracing import _DisabledSpan
+from repro.service.wire import request_from_wire, result_fingerprint
+
+SOURCE = """
+char table[4096]; int k;
+int main() {
+  int x = 0;
+  if (k > 0) { x = x + table[k * 64]; }
+  if (k > 1) { x = x + table[128]; }
+  return x;
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer(monkeypatch):
+    """Every test starts with tracing off and no leftover sinks."""
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    before = list(tracer()._sinks)
+    yield
+    for sink in list(tracer()._sinks):
+        if sink not in before:
+            tracer().remove_sink(sink)
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.counter("a.pops").inc(3)
+        registry.gauge("a.size").set(7)
+        registry.histogram("a.time").observe(0.02)
+        snap = registry.snapshot()
+        assert snap["a.pops"] == {"type": "counter", "value": 3}
+        assert snap["a.size"]["value"] == 7
+        assert snap["a.time"]["count"] == 1
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_absorb_merges_counters_and_histograms(self):
+        ours, theirs = MetricsRegistry(), MetricsRegistry()
+        ours.counter("n").inc(1)
+        theirs.counter("n").inc(5)
+        theirs.gauge("g").set(2.0)
+        theirs.histogram("h").observe(0.5)
+        ours.absorb(theirs.snapshot())
+        snap = ours.snapshot()
+        assert snap["n"]["value"] == 6
+        assert snap["g"]["value"] == 2.0
+        assert snap["h"]["count"] == 1
+
+    def test_snapshot_is_json_serialisable(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.histogram("h").observe(1.0)
+        json.dumps(registry.snapshot())
+
+
+# ----------------------------------------------------------------------
+# Tracer: disabled fast path and JSONL exporter
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_disabled_span_is_the_noop_type_and_still_times(self):
+        opened = span("anything", attr=1)
+        assert isinstance(opened, _DisabledSpan)
+        with opened as s:
+            pass
+        assert s.duration >= 0.0
+
+    def test_no_file_created_when_disabled(self, tmp_path):
+        with span("untraced"):
+            pass
+        assert list(tmp_path.iterdir()) == []
+
+    def test_env_var_attaches_and_detaches_jsonl(self, tmp_path, monkeypatch):
+        path = tmp_path / "trace.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(path))
+        with span("outer", a=1):
+            with span("inner"):
+                pass
+        monkeypatch.delenv("REPRO_TRACE")
+        assert not tracer().enabled
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        spans = [json.loads(line) for line in lines]  # every line parses
+        by_name = {s["name"]: s for s in spans}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["inner"]["trace_id"] == by_name["outer"]["trace_id"]
+        assert by_name["outer"]["parent_id"] is None
+        assert by_name["outer"]["attrs"] == {"a": 1}
+
+    def test_concurrent_writers_never_interleave(self, tmp_path, monkeypatch):
+        path = tmp_path / "trace.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(path))
+
+        def worker(index: int) -> None:
+            for _ in range(50):
+                with span("worker", index=index, pad="x" * 256):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 8 * 50
+        for line in lines:
+            json.loads(line)  # any torn write would fail here
+
+    def test_span_buffer_finds_job_traces(self):
+        buffer = SpanBuffer()
+        tracer().add_sink(buffer)
+        with span("scheduler.batch", job_ids=["job-7"]):
+            with span("analyze"):
+                pass
+        with span("unrelated"):
+            pass
+        tracer().remove_sink(buffer)
+        names = {s["name"] for s in buffer.trace_for_job("job-7")}
+        assert names == {"scheduler.batch", "analyze"}
+
+    def test_collecting_bypasses_sinks(self, tmp_path, monkeypatch):
+        path = tmp_path / "trace.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(path))
+        with tracer().collecting() as collected:
+            with span("inside"):
+                pass
+        assert [s["name"] for s in collected.spans] == ["inside"]
+        assert not path.exists()  # never written, not even lazily
+
+    def test_emit_foreign_grafts_under_current_span(self):
+        buffer = SpanBuffer()
+        tracer().add_sink(buffer)
+        with tracer().collecting() as collected:
+            with span("worker.root"):
+                with span("worker.child"):
+                    pass
+        with span("master") as master:
+            tracer().emit_foreign(collected.spans)
+        tracer().remove_sink(buffer)
+        by_name = {s["name"]: s for s in buffer.spans()}
+        assert by_name["worker.root"]["parent_id"] == master.span_id
+        assert by_name["worker.child"]["parent_id"] == by_name["worker.root"]["span_id"]
+        assert all(s["trace_id"] == master.trace_id for s in buffer.spans())
+
+
+# ----------------------------------------------------------------------
+# Determinism: tracing must never perturb results
+# ----------------------------------------------------------------------
+class TestTracingDeterminism:
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
+    def test_identical_results_with_tracing_on_and_off(
+        self, backend, tmp_path, monkeypatch
+    ):
+        request = AnalysisRequest.speculative(
+            SOURCE, scenario_shards=2, shard_backend=backend
+        )
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        untraced = execute_request(request)
+        monkeypatch.setenv("REPRO_TRACE", str(tmp_path / "trace.jsonl"))
+        traced = execute_request(request)
+        monkeypatch.delenv("REPRO_TRACE")
+        assert result_fingerprint(traced) == result_fingerprint(untraced)
+        assert traced.classifications == untraced.classifications
+        assert traced.entry_states == untraced.entry_states
+        assert traced.iterations == untraced.iterations
+
+    def test_result_keys_unaffected_by_tracing(self, tmp_path, monkeypatch):
+        request = AnalysisRequest.speculative(SOURCE)
+        key_off = request.result_key()
+        monkeypatch.setenv("REPRO_TRACE", str(tmp_path / "trace.jsonl"))
+        key_on = AnalysisRequest.speculative(SOURCE).result_key()
+        assert key_on == key_off
+
+    def test_trace_covers_pipeline_phases(self, tmp_path, monkeypatch):
+        path = tmp_path / "trace.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(path))
+        engine = AnalysisEngine()
+        engine.run(AnalysisRequest.speculative(SOURCE, scenario_shards=2))
+        monkeypatch.delenv("REPRO_TRACE")
+        names = {json.loads(line)["name"] for line in path.read_text().splitlines()}
+        for expected in (
+            "engine.run", "analyze", "frontend", "parse", "unroll", "lower",
+            "vcfg", "fixpoint", "fixpoint.round", "fixpoint.shard", "classify",
+        ):
+            assert expected in names, f"missing span {expected!r}"
+
+
+# ----------------------------------------------------------------------
+# Provenance stamps
+# ----------------------------------------------------------------------
+class TestProvenance:
+    def test_results_carry_a_stamp(self):
+        request = AnalysisRequest.speculative(SOURCE)
+        result = execute_request(request)
+        stamp = result.provenance
+        assert isinstance(stamp, ProvenanceStamp)
+        assert stamp.result_key == request.result_key()
+        assert stamp.kind == "speculative"
+
+    def test_stamp_replays_to_the_identical_verdict(self):
+        request = AnalysisRequest.speculative(SOURCE, scenario_shards=2)
+        result = execute_request(request)
+        replayed_request = result.provenance.replay_request()
+        assert replayed_request == request
+        assert replayed_request.result_key() == request.result_key()
+        replay = execute_request(replayed_request)
+        assert result_fingerprint(replay) == result_fingerprint(result)
+
+    def test_stamp_request_matches_wire_codec(self):
+        request = AnalysisRequest.speculative(SOURCE, label="pin")
+        stamp = stamp_for_request(request)
+        assert request_from_wire(stamp.request) == request
+
+    def test_stamp_wire_roundtrip(self):
+        stamp = stamp_for_request(AnalysisRequest.baseline(SOURCE))
+        wire = stamp.to_wire()
+        json.dumps(wire)  # JSON-clean
+        assert ProvenanceStamp.from_wire(wire) == stamp
+
+    def test_stamp_excluded_from_fingerprint_and_equality(self):
+        request = AnalysisRequest.speculative(SOURCE)
+        first, second = execute_request(request), execute_request(request)
+        # provenance is compare=False: stripping it never changes equality
+        assert first == dataclasses.replace(first, provenance=None)
+        assert result_fingerprint(first) == result_fingerprint(second)
+
+    def test_stored_artifact_replays_bit_for_bit(self, tmp_path):
+        from repro.service.store import ResultStore
+
+        request = AnalysisRequest.speculative(SOURCE)
+        engine = AnalysisEngine(result_store=ResultStore(tmp_path / "store"))
+        first = engine.run(request)
+        stored = ResultStore(tmp_path / "store").get(request.result_key())
+        assert stored.provenance is not None
+        replay = execute_request(stored.provenance.replay_request())
+        assert result_fingerprint(replay) == result_fingerprint(first)
+
+    def test_old_pickles_without_provenance_still_load(self):
+        result = execute_request(AnalysisRequest.baseline(SOURCE))
+        state = result.__dict__.copy()
+        state.pop("provenance")
+        state.pop("shard_backend_used")
+        old = CacheAnalysisResult.__new__(CacheAnalysisResult)
+        old.__setstate__(state)
+        revived = pickle.loads(pickle.dumps(old))
+        assert revived.provenance is None
+        assert revived.shard_backend_used is None
+        # the engine's cache-replay copy path must survive such results
+        assert dataclasses.replace(revived, from_cache=True).from_cache
+
+
+# ----------------------------------------------------------------------
+# Daemon surface: trace RPC and extended stats
+# ----------------------------------------------------------------------
+class TestServiceTelemetry:
+    @pytest.fixture
+    def server(self):
+        from repro.service.server import ReproServer
+
+        server = ReproServer(port=0, max_workers=1).start()
+        yield server
+        server.stop()
+
+    @pytest.fixture
+    def client(self, server):
+        from repro.service.client import ServiceClient
+
+        with ServiceClient(port=server.port) as client:
+            yield client
+
+    def test_trace_rpc_returns_job_span_tree(self, client):
+        request = AnalysisRequest.speculative(SOURCE, scenario_shards=2)
+        client.analyze(request)
+        assert client.last_job_id is not None
+        spans = client.trace(client.last_job_id)
+        names = {s["name"] for s in spans}
+        assert "scheduler.batch" in names
+        assert "fixpoint" in names
+        batch = next(s for s in spans if s["name"] == "scheduler.batch")
+        assert client.last_job_id in batch["attrs"]["job_ids"]
+        # one trace: every span shares the dispatch's trace id
+        assert {s["trace_id"] for s in spans} == {batch["trace_id"]}
+
+    def test_trace_rpc_rejects_unknown_jobs(self, client):
+        from repro.service.client import ServiceError
+
+        with pytest.raises(ServiceError, match="unknown job"):
+            client.trace("job-999999")
+
+    def test_stats_rpc_exposes_sharding_and_metrics(self, client):
+        client.analyze(
+            AnalysisRequest.speculative(SOURCE, scenario_shards=2)
+        )
+        stats = client.stats()
+        assert stats["scheduler"]["sharded_jobs"] >= 1
+        assert "fanout_dispatches" in stats["scheduler"]
+        registry = stats["metrics"]
+        assert registry["fixpoint.pops"]["value"] > 0
+        json.dumps(stats)  # the whole payload is JSON-clean
+
+    def test_result_wire_carries_provenance(self, client):
+        request = AnalysisRequest.speculative(SOURCE)
+        wire = client.analyze(request)
+        stamp = wire["provenance"]
+        assert stamp["result_key"] == request.result_key()
+        assert request_from_wire(stamp["request"]) == request
