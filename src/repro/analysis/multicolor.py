@@ -115,7 +115,17 @@ from repro.engine.request import SHARD_BACKENDS
 from repro.engine.worklist import PriorityWorklist, WideningPolicy, run_fixpoint
 from repro.frontend import CompiledProgram
 from repro.ir.loops import find_natural_loops
-from repro.obs import metrics, span, tracer
+from repro.obs import (
+    CollectingReporter,
+    current_reporter,
+    metrics,
+    publish_progress,
+    reporting,
+    republish,
+    span,
+    tracer,
+)
+from repro.obs.progress import POP_PUBLISH_INTERVAL
 from repro.speculation.config import SpeculationConfig
 from repro.speculation.vcfg import SpeculationScenario, VirtualCFG, build_vcfg
 
@@ -300,6 +310,13 @@ class SpeculativeCacheAnalysis:
     def run(self) -> CacheAnalysisResult:
         # The public `analysis_time` is derived from the span's duration:
         # the span always times itself, sinks or not.
+        publish_progress(
+            "fixpoint",
+            program=self.cfg.name,
+            mode=self.mode,
+            scenarios=len(self.vcfg.scenarios),
+            shards=self.scenario_shards,
+        )
         with span(
             "fixpoint",
             program=self.cfg.name,
@@ -332,6 +349,9 @@ class SpeculativeCacheAnalysis:
         )
         stats = self.chooser.stats(self.vcfg.scenarios)
         result.num_virtual_edges_active = stats.virtual_edges_active
+        publish_progress(
+            "classify", program=self.cfg.name, iterations=fixpoint.iterations
+        )
         with span("classify", program=self.cfg.name) as classify_span:
             result.classifications = self._classify(fixpoint)
             classify_span.set(sites=len(result.classifications))
@@ -421,8 +441,21 @@ class SpeculativeCacheAnalysis:
         Blocks whose normal state changed at least once are accumulated
         into ``normal_changed`` (the sharded scheduler's join set)."""
         worklist = PriorityWorklist(order, initial=seeds)
+        # Streaming progress: throttled to one event per
+        # POP_PUBLISH_INTERVAL pops, and only when a reporter is
+        # installed — the common (unwatched) case pays nothing per pop.
+        reporter = current_reporter()
+        publish_every = POP_PUBLISH_INTERVAL if reporter.active else 0
+        pops_seen = 0
 
         def step(name: str) -> set[str]:
+            nonlocal pops_seen
+            if publish_every:
+                pops_seen += 1
+                if pops_seen % publish_every == 0:
+                    reporter.publish(
+                        "fixpoint.pops", pops=pops_seen, pass_name=description
+                    )
             visits[name] += 1
             pending = dirty[name]
             dirty[name] = set()
@@ -600,6 +633,13 @@ class SpeculativeCacheAnalysis:
                             normal[block] = joined
                             joined_delta.add(block)
                 round_span.set(joined_blocks=len(joined_delta))
+                publish_progress(
+                    "fixpoint.round",
+                    round=round_index,
+                    shards_seeded=len(seeded),
+                    joined_blocks=len(joined_delta),
+                    iterations=iterations,
+                )
                 if not joined_delta:
                     break
                 pending_normal = joined_delta
@@ -652,11 +692,15 @@ class SpeculativeCacheAnalysis:
         """Run one round of shard fixpoints; returns per-shard
         (pops, local normal states, blocks whose local normal changed),
         in shard order regardless of execution interleaving."""
+        # Captured for the threads backend: pool threads have an empty
+        # thread-local reporter, so the caller's is installed explicitly
+        # (mirroring the explicit span parenting below).
+        reporter = current_reporter()
 
         def run_one(shard: _Shard) -> tuple[int, dict[str, object], set[str]]:
             # Explicit parenting: on the threads backend this body runs on
             # a pool thread whose own span stack is empty.
-            with tracer().child_span(
+            with reporting(reporter), tracer().child_span(
                 "fixpoint.shard", parent_span, shard=shard.index
             ) as shard_span:
                 local_normal = dict(normal)
@@ -684,6 +728,12 @@ class SpeculativeCacheAnalysis:
                     description=f"sharded speculative fixpoint (shard {shard.index})",
                 )
                 shard_span.set(pops=pops, changed_blocks=len(local_changed))
+                reporter.publish(
+                    "fixpoint.shard",
+                    shard=shard.index,
+                    pops=pops,
+                    changed_blocks=len(local_changed),
+                )
             return pops, local_normal, local_changed
 
         if self.shard_threads and len(shards) > 1:
@@ -806,16 +856,23 @@ class SpeculativeCacheAnalysis:
                     )
                     delta_for_shards = set()
                     want_spans = tracer().enabled
+                    # Progress rides the same reply channel as spans:
+                    # workers collect locally and the master republishes
+                    # into its own reporter (workers never talk to the
+                    # service layer directly).
+                    want_progress = current_reporter().active
                     replies = pool.request_all(
-                        [("round", delta_blob, want_spans)] * num_workers
+                        [("round", delta_blob, want_spans, want_progress)]
+                        * num_workers
                     )
                     metrics().counter("codec.bytes_shipped").inc(
                         len(delta_blob) * num_workers
                     )
                     reply_bytes = 0
                     by_shard: dict[int, tuple[int, bytes]] = {}
-                    for shard_replies, worker_spans in replies:
+                    for shard_replies, worker_spans, worker_progress in replies:
                         tracer().emit_foreign(worker_spans)
+                        republish(worker_progress)
                         for shard_index, pops, changed_blob, leftover_dirty in shard_replies:
                             by_shard[shard_index] = (pops, changed_blob)
                             shard_has_dirty[shard_index] = leftover_dirty
@@ -838,6 +895,13 @@ class SpeculativeCacheAnalysis:
                         delta_bytes=len(delta_blob),
                         reply_bytes=reply_bytes,
                         joined_blocks=len(joined_delta),
+                        workers=num_workers,
+                    )
+                    publish_progress(
+                        "fixpoint.round",
+                        round=round_index,
+                        joined_blocks=len(joined_delta),
+                        iterations=iterations,
                         workers=num_workers,
                     )
                     if not joined_delta:
@@ -1148,19 +1212,21 @@ class _ShardWorker:
     def __call__(self, message: tuple):
         if message[0] == "round":
             want_spans = bool(message[2]) if len(message) > 2 else False
-            return self._round(message[1], want_spans)
+            want_progress = bool(message[3]) if len(message) > 3 else False
+            return self._round(message[1], want_spans, want_progress)
         if message[0] == "finalize":
             return self._finalize()
         raise ValueError(f"unknown shard-worker message {message[0]!r}")
 
     def _round(
-        self, delta_blob: bytes, want_spans: bool = False
-    ) -> tuple[list[tuple[int, int, bytes, bool]], list[dict]]:
+        self, delta_blob: bytes, want_spans: bool = False, want_progress: bool = False
+    ) -> tuple[list[tuple[int, int, bytes, bool]], list[dict], list[dict]]:
         """Run one fixpoint round for every owned shard; replies with
         ``(shard index, pops, encoded changed states, leftover dirty)``
-        per shard, plus the spans collected worker-side when the master
-        asked for them (it re-emits them into its own tree — workers
-        never write the trace file).  Mirrors
+        per shard, plus the spans and progress events collected
+        worker-side when the master asked for them (it re-emits both
+        into its own tree/reporter — workers never write the trace file
+        or talk to the service layer).  Mirrors
         :meth:`SpeculativeCacheAnalysis._run_shards`' ``run_one`` exactly
         (a shard with no seeds pops nothing and changes nothing, matching
         the serial backend's seeding filter).
@@ -1171,10 +1237,12 @@ class _ShardWorker:
         order = self.order
         replies: list[tuple[int, int, bytes, bool]] = []
         spans: list[dict] = []
-        # Collection only when the master is tracing: otherwise the shard
-        # spans below stay on the disabled (duration-only) fast path.
+        # Collection only when the master is tracing/watching: otherwise
+        # the shard spans below stay on the disabled (duration-only)
+        # fast path and progress publishing stays a no-op.
         collect = tracer().collecting() if want_spans else contextlib.nullcontext()
-        with collect as collected:
+        progress = CollectingReporter() if want_progress else None
+        with collect as collected, reporting(progress):
             for shard in self.shards:
                 with span("fixpoint.shard", shard=shard.index) as shard_span:
                     local_normal = dict(self.mirror)
@@ -1208,9 +1276,16 @@ class _ShardWorker:
                     )
                 leftover_dirty = any(shard.dirty[name] for name in shard.dirty)
                 replies.append((shard.index, pops, changed_blob, leftover_dirty))
+                if progress is not None:
+                    progress.publish(
+                        "fixpoint.shard",
+                        shard=shard.index,
+                        pops=pops,
+                        changed_blocks=len(local_changed),
+                    )
             if want_spans:
                 spans = collected.spans
-        return replies, spans
+        return replies, spans, progress.events if progress is not None else []
 
     def _finalize(self) -> tuple[list[tuple[int, dict, DepthChooser]], dict]:
         """Hand the accumulated shard state back to the master: the

@@ -46,7 +46,7 @@ from repro.mitigation.placement import (
     placement_cycles,
     surviving_branch_points,
 )
-from repro.obs import span
+from repro.obs import publish_progress, span
 
 #: Synthesis gives up after this many greedy rounds (each round adds one
 #: fence point); programs needing more are declared unmitigable by the
@@ -217,6 +217,7 @@ def _synthesize(
         analyses_run=1,
     )
     mitigate_span.set(leak_sites_before=len(leaks))
+    publish_progress("mitigate", program=label, leak_sites_before=len(leaks))
     if not leaks:
         return result
 
@@ -234,6 +235,13 @@ def _synthesize(
                 analysed.hit_count, analysed.miss_count, cache_config, ir_fences
             )
             candidate_span.set(
+                leak_sites_after=analysed.leak_site_count,
+                verified=analysed.leak_site_count == 0,
+            )
+            publish_progress(
+                "mitigate.candidate",
+                strategy=strategy,
+                fence_points=len(points),
                 leak_sites_after=analysed.leak_site_count,
                 verified=analysed.leak_site_count == 0,
             )

@@ -6,7 +6,7 @@ rest of :mod:`repro`, so every other layer (the worklist kernel, the
 engine, the process pools, the service) can instrument itself without
 import cycles.
 
-Three facilities live here:
+Four facilities live here:
 
 * :mod:`repro.obs.metrics` — a process-wide **metrics registry** of
   counters, gauges and fixed-bucket histograms.  The ad-hoc stats
@@ -22,6 +22,11 @@ Three facilities live here:
   ring buffer the daemon serves over the ``trace`` RPC, and a *collect*
   mode worker processes use to relay their spans back through their
   existing reply channels instead of racing on the output file.
+* :mod:`repro.obs.progress` — **streaming progress**: live events from
+  running analyses (fixpoint rounds, pops, shard completions, mitigation
+  candidates) published through a thread-local reporter, collected into
+  per-job watchable event logs by the scheduler and streamed to clients
+  over the daemon's ``watch`` RPC.
 * :mod:`repro.obs.provenance` — **provenance stamps**: a replayable
   record (source hash, full request configuration, engine version,
   backend used) attached to every analysis result and stored artifact.
@@ -32,7 +37,26 @@ schedule, and the whole layer is a no-op fast path when disabled —
 pinned by differential tests in ``tests/test_obs.py``.
 """
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, metrics
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    histogram_quantile,
+    metrics,
+    render_prometheus,
+)
+from repro.obs.progress import (
+    CallbackReporter,
+    CollectingReporter,
+    EventLog,
+    LogReporter,
+    ProgressReporter,
+    current_reporter,
+    publish_progress,
+    reporting,
+    republish,
+)
 from repro.obs.provenance import ProvenanceStamp, stamp_for_request
 from repro.obs.tracing import (
     Span,
@@ -44,16 +68,27 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "CallbackReporter",
+    "CollectingReporter",
     "Counter",
+    "EventLog",
     "Gauge",
     "Histogram",
+    "LogReporter",
     "MetricsRegistry",
+    "ProgressReporter",
     "ProvenanceStamp",
     "Span",
     "SpanBuffer",
     "Tracer",
+    "current_reporter",
     "current_span",
+    "histogram_quantile",
     "metrics",
+    "publish_progress",
+    "render_prometheus",
+    "reporting",
+    "republish",
     "span",
     "stamp_for_request",
     "tracer",

@@ -118,6 +118,11 @@ class Histogram:
         with self._lock:
             return self._count
 
+    def quantile(self, q: float) -> float | None:
+        """Bucket-interpolated quantile estimate (see
+        :func:`histogram_quantile`); ``None`` when empty."""
+        return histogram_quantile(self.to_dict(), q)
+
     def to_dict(self) -> dict:
         with self._lock:
             return {
@@ -205,6 +210,107 @@ class MetricsRegistry:
     def clear(self) -> None:
         with self._lock:
             self._instruments.clear()
+
+
+def histogram_quantile(payload: Mapping, q: float) -> float | None:
+    """Bucket-interpolated quantile from a histogram snapshot payload.
+
+    Works on the JSON dict produced by :meth:`Histogram.to_dict` (and
+    therefore on anything the ``stats``/``metrics`` RPCs return), so the
+    CLI can compute p50/p99 from a remote daemon without reconstructing
+    instruments.  Linear interpolation within the bucket holding the
+    requested rank, tightened by the recorded ``min``/``max`` for the
+    first and overflow buckets; ``None`` when the histogram is empty.
+    """
+    count = int(payload.get("count") or 0)
+    if count <= 0:
+        return None
+    q = min(max(float(q), 0.0), 1.0)
+    edges = [float(edge) for edge in payload["edges"]]
+    buckets = [int(value) for value in payload["buckets"]]
+    minimum = payload.get("min")
+    maximum = payload.get("max")
+    rank = q * count
+    cumulative = 0
+    for index, bucket_count in enumerate(buckets):
+        if bucket_count == 0:
+            continue
+        if cumulative + bucket_count >= rank:
+            if index == 0:
+                lower = minimum if minimum is not None else 0.0
+                upper = edges[0]
+            elif index == len(edges):
+                lower = edges[-1]
+                upper = maximum if maximum is not None else edges[-1]
+            else:
+                lower = edges[index - 1]
+                upper = edges[index]
+            lower = min(float(lower), float(upper))
+            if maximum is not None:
+                upper = min(float(upper), float(maximum))
+            if minimum is not None:
+                lower = max(lower, float(minimum))
+            if upper <= lower or bucket_count == 0:
+                return float(upper)
+            fraction = (rank - cumulative) / bucket_count
+            return lower + (upper - lower) * fraction
+        cumulative += bucket_count
+    return float(maximum) if maximum is not None else edges[-1]
+
+
+def _prometheus_name(name: str) -> str:
+    """Dotted metric path -> legal Prometheus metric name."""
+    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return "repro_" + cleaned
+
+
+def _prometheus_value(value) -> str:
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(snapshot: Mapping[str, Mapping]) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` in Prometheus text
+    exposition format (version 0.0.4).
+
+    Counters gain the conventional ``_total`` suffix; histograms emit
+    cumulative ``_bucket{le=...}`` series ending in ``+Inf`` plus
+    ``_sum`` and ``_count``.  Output is sorted by metric name so two
+    scrapes of the same snapshot are byte-identical.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        payload = snapshot[name]
+        kind = payload.get("type")
+        base = _prometheus_name(name)
+        if kind == "counter":
+            lines.append(f"# HELP {base}_total {name}")
+            lines.append(f"# TYPE {base}_total counter")
+            lines.append(f"{base}_total {_prometheus_value(payload['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# HELP {base} {name}")
+            lines.append(f"# TYPE {base} gauge")
+            lines.append(f"{base} {_prometheus_value(payload['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# HELP {base} {name}")
+            lines.append(f"# TYPE {base} histogram")
+            cumulative = 0
+            for edge, bucket in zip(payload["edges"], payload["buckets"]):
+                cumulative += int(bucket)
+                lines.append(
+                    f'{base}_bucket{{le="{_prometheus_value(edge)}"}} {cumulative}'
+                )
+            count = int(payload["count"])
+            lines.append(f'{base}_bucket{{le="+Inf"}} {count}')
+            lines.append(f"{base}_sum {_prometheus_value(payload['sum'])}")
+            lines.append(f"{base}_count {count}")
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 _registry = MetricsRegistry()

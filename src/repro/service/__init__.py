@@ -14,7 +14,16 @@ into a long-running service with durable caching:
 * :mod:`repro.service.server` / :mod:`repro.service.client` — the
   socket daemon and its Python client;
 * :mod:`repro.service.cli` — the ``repro`` command-line entry point
-  (``serve`` / ``submit`` / ``wcet`` / ``sidechannel`` / ``stats``).
+  (``serve`` / ``submit`` / ``wcet`` / ``sidechannel`` / ``mitigate`` /
+  ``stats`` / ``top`` / ``trace``).
+
+The service edge is fully observable: every job keeps a lifecycle +
+progress event log (streamed by the daemon's ``watch`` RPC and the
+``events`` op), the scheduler feeds per-priority queue-depth gauges and
+queue-wait/execute/end-to-end latency histograms into the process-wide
+metrics registry (exposed by the ``metrics`` RPC and ``repro stats
+--prom`` in Prometheus text format), and jobs that breach a
+configurable end-to-end threshold land in a bounded slow-job log.
 
 Layering: ``engine`` knows nothing about this package (the store plugs
 into it duck-typed); the applications under :mod:`repro.apps` work

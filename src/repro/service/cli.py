@@ -8,7 +8,15 @@ Subcommands::
     repro sidechannel  Table-7-shaped leak detection for crypto kernels
     repro mitigate     synthesise verified fence placements that close leaks
     repro stats        engine / scheduler / store / metrics of a running daemon
+    repro top          live queue/worker view of a running daemon
     repro trace        span tree of one daemon job (by job id)
+
+``repro submit --watch`` streams the job's lifecycle + progress events
+(fixpoint rounds, shard completions, mitigation candidates) live over
+the daemon's ``watch`` RPC while the analysis runs.  ``repro stats
+--prom`` renders the daemon's full metrics registry in Prometheus text
+exposition format for scrapers; the human-readable ``repro stats``
+output adds bucket-interpolated p50/p99 lines for every histogram.
 
 ``repro serve --trace PATH`` (or the ``REPRO_TRACE`` environment
 variable, which works for every command) additionally streams every
@@ -44,6 +52,7 @@ import sys
 
 from repro.engine.engine import AnalysisEngine, execute_request
 from repro.engine.request import AnalysisKind, AnalysisRequest
+from repro.obs import histogram_quantile, render_prometheus
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.server import DEFAULT_PORT, ReproServer
 from repro.service.store import ResultStore
@@ -115,6 +124,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         max_workers=args.max_workers,
         batch_size=args.batch_size,
+        slow_job_seconds=args.slow_job_seconds,
     )
     signal.signal(signal.SIGTERM, lambda *_: server.stop())
     store_note = "no store" if args.no_store else f"store at {args.store_dir}"
@@ -221,6 +231,41 @@ def _print_result(wire: dict, as_json: bool) -> None:
     print(f"  side channel: {verdict}")
 
 
+def _format_event(event: dict, first_t: float) -> str:
+    """One streamed lifecycle/progress event as a human-readable line,
+    timestamped relative to the first event of the stream."""
+    name = event["event"]
+    if name == "progress":
+        name = f"progress {event.get('phase', '?')}"
+    skip = {"event", "seq", "t", "ts", "job_id", "phase"}
+    detail = "  ".join(
+        f"{key}={value}"
+        for key, value in event.items()
+        if key not in skip and value is not None
+    )
+    offset = event["t"] - first_t
+    return f"  [{offset:8.3f}s] {name}" + (f"  {detail}" if detail else "")
+
+
+def _watch_submit(args: argparse.Namespace, request: AnalysisRequest):
+    """Submit to the daemon and stream the job's events while it runs;
+    returns ``(wire result, job id)``."""
+    with ServiceClient(host=args.host, port=args.port) as client:
+        job_id = client.submit(request)
+        print(f"watching {job_id}", flush=True)
+        first_t: list[float] = []
+
+        def show(event: dict) -> None:
+            if not first_t:
+                first_t.append(event["t"])
+            print(_format_event(event, first_t[0]), flush=True)
+
+        final = client.watch(job_id, on_event=show)
+        if final.get("error"):
+            raise ServiceError(final["error"])
+        return client.result(job_id), job_id
+
+
 def cmd_submit(args: argparse.Namespace) -> int:
     if args.source == "-":
         source = sys.stdin.read()
@@ -232,13 +277,19 @@ def cmd_submit(args: argparse.Namespace) -> int:
 
         os.environ["REPRO_TRACE"] = args.trace
     request = _build_request(args, source)
-    backend = _backend(args)
-    try:
-        wire = backend.analyze(request)
-    finally:
-        backend.close()
+    if args.watch:
+        if getattr(args, "local", False):
+            print("--watch streams from a daemon; drop --local", file=sys.stderr)
+            return 2
+        wire, job_id = _watch_submit(args, request)
+    else:
+        backend = _backend(args)
+        try:
+            wire = backend.analyze(request)
+        finally:
+            backend.close()
+        job_id = getattr(getattr(backend, "client", None), "last_job_id", None)
     _print_result(wire, args.json)
-    job_id = getattr(getattr(backend, "client", None), "last_job_id", None)
     if job_id and not args.json:
         print(f"  job: {job_id}  (span tree: repro trace {job_id})")
     if args.verify:
@@ -508,6 +559,11 @@ def cmd_mitigate(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 def cmd_stats(args: argparse.Namespace) -> int:
     with ServiceClient(host=args.host, port=args.port) as client:
+        if args.prom:
+            # Pure exposition: the registry snapshot rendered in
+            # Prometheus text format, nothing else on stdout.
+            print(render_prometheus(client.metrics()), end="")
+            return 0
         stats = client.stats()
     if args.json:
         print(json.dumps(stats, indent=2, sort_keys=True))
@@ -538,15 +594,105 @@ def cmd_stats(args: argparse.Namespace) -> int:
             f"sharding     : {sched['sharded_jobs']} sharded jobs, "
             f"{sched['fanout_dispatches']} fan-out dispatches"
         )
+    slow = stats.get("slow_jobs") or []
+    if slow:
+        print(f"slow jobs    : {len(slow)} over threshold (most recent last)")
+        for entry in slow[-5:]:
+            print(
+                f"  {entry['job_id']}  {entry.get('e2e_seconds', 0.0):.1f}s  "
+                f"{entry.get('label') or ''}"
+            )
     registry = stats.get("metrics") or {}
     if registry:
         print("metrics      :")
         for name, entry in sorted(registry.items()):
             if entry.get("type") == "histogram":
-                print(f"  {name:26s} count={entry['count']} sum={entry['sum']:.6f}")
+                quantiles = ""
+                p50 = histogram_quantile(entry, 0.5)
+                p99 = histogram_quantile(entry, 0.99)
+                if p50 is not None:
+                    quantiles = f" p50={p50:.6f} p99={p99:.6f}"
+                print(
+                    f"  {name:26s} count={entry['count']} "
+                    f"sum={entry['sum']:.6f}{quantiles}"
+                )
             else:
                 print(f"  {name:26s} {entry['value']}")
     return 0
+
+
+# ----------------------------------------------------------------------
+# repro top
+# ----------------------------------------------------------------------
+def _render_top(top: dict) -> list[str]:
+    """One frame of the live queue/worker view as printable lines."""
+    import time as _time
+
+    sched = top["scheduler"]
+    depth = sched.get("queue_depth") or {}
+    instruments = top.get("metrics") or {}
+
+    def quantile_ms(name: str, q: float) -> str:
+        payload = instruments.get(name)
+        if not payload or payload.get("type") != "histogram":
+            return "-"
+        value = histogram_quantile(payload, q)
+        return f"{value * 1000:.0f}ms" if value is not None else "-"
+
+    clock = _time.strftime("%H:%M:%S", _time.localtime(top.get("time", 0.0)))
+    lines = [
+        f"repro daemon — {clock}",
+        (
+            f"queued  high={depth.get('high', 0)} "
+            f"normal={depth.get('normal', 0)} low={depth.get('low', 0)}   "
+            f"running {sched['running']}/{top.get('max_workers', '?')} workers   "
+            f"submitted {sched['submitted']} ({sched['coalesced']} coalesced)   "
+            f"completed {sched['completed']}   failed {sched['failed']}   "
+            f"slow {sched.get('slow_jobs', 0)}"
+        ),
+        (
+            f"latency  queue-wait p50={quantile_ms('scheduler.queue_wait_seconds', 0.5)} "
+            f"p99={quantile_ms('scheduler.queue_wait_seconds', 0.99)}   "
+            f"e2e p50={quantile_ms('scheduler.e2e_seconds', 0.5)} "
+            f"p99={quantile_ms('scheduler.e2e_seconds', 0.99)}"
+        ),
+        "",
+        f"{'JOB':12s} {'STATE':9s} {'PHASE':16s} {'PRIO':6s} "
+        f"{'QUEUED':>8s} {'RUN':>8s}  LABEL",
+    ]
+    for job in top.get("jobs") or []:
+        running = job.get("running_seconds")
+        label = (job.get("label") or "")[:40]
+        lines.append(
+            f"{job['job_id']:12s} {job['state']:9s} "
+            f"{(job.get('phase') or '-'):16s} {job['priority']:6s} "
+            f"{job['queued_seconds']:8.3f} "
+            f"{running if running is not None else 0.0:8.3f}  {label}"
+        )
+    return lines
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    with ServiceClient(host=args.host, port=args.port) as client:
+        if args.json:
+            print(json.dumps(client.top(limit=args.limit), indent=2, sort_keys=True))
+            return 0
+        if args.once:
+            for line in _render_top(client.top(limit=args.limit)):
+                print(line)
+            return 0
+        try:
+            while True:
+                frame = _render_top(client.top(limit=args.limit))
+                # Clear screen + home, like top(1); one write per frame
+                # so partially drawn frames never show.
+                sys.stdout.write("\x1b[2J\x1b[H" + "\n".join(frame) + "\n")
+                sys.stdout.flush()
+                _time.sleep(max(0.2, args.interval))
+        except KeyboardInterrupt:
+            return 0
 
 
 # ----------------------------------------------------------------------
@@ -637,6 +783,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run without the on-disk result store")
     serve.add_argument("--max-workers", type=int, default=2)
     serve.add_argument("--batch-size", type=int, default=8)
+    serve.add_argument("--slow-job-seconds", type=float, default=None,
+                       help="end-to-end latency above which a job is logged as "
+                            "slow (default: REPRO_SLOW_JOB_SECONDS, then 30; "
+                            "0 disables)")
     serve.add_argument("--trace", default=None, metavar="PATH",
                        help="write every completed span to PATH as JSON lines "
                             "(equivalent to REPRO_TRACE=PATH)")
@@ -666,6 +816,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="speculation depth bound bh")
     submit.add_argument("--label", default=None)
     submit.add_argument("--json", action="store_true", help="print the raw wire result")
+    submit.add_argument("--watch", action="store_true",
+                        help="stream the job's lifecycle + progress events live "
+                             "while it runs (daemon only)")
     submit.add_argument("--verify", action="store_true",
                         help="recompute in-process and assert identical results")
     submit.add_argument("--trace", default=None, metavar="PATH",
@@ -712,8 +865,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("stats", help="statistics of a running daemon")
     stats.add_argument("--json", action="store_true")
+    stats.add_argument("--prom", action="store_true",
+                       help="render the metrics registry in Prometheus text "
+                            "exposition format")
     _add_connection_args(stats, local_ok=False)
     stats.set_defaults(func=cmd_stats)
+
+    top = sub.add_parser("top", help="live queue/worker view of a running daemon")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="refresh interval in seconds (default: 2)")
+    top.add_argument("--once", action="store_true",
+                     help="print one frame and exit (no screen clearing)")
+    top.add_argument("--limit", type=int, default=32,
+                     help="how many recent jobs to list")
+    top.add_argument("--json", action="store_true",
+                     help="print the raw top payload")
+    _add_connection_args(top, local_ok=False)
+    top.set_defaults(func=cmd_top)
 
     trace = sub.add_parser("trace", help="span tree of one daemon job")
     trace.add_argument("job_id", help="job id as printed by 'repro submit'")

@@ -27,21 +27,34 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import logging
+import os
 import threading
 import time
+from collections import deque
 from concurrent.futures import CancelledError, Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum, IntEnum
 
 from repro.analysis.multicolor import resolve_shard_backend
 from repro.engine.engine import AnalysisEngine
 from repro.engine.request import AnalysisKind, AnalysisRequest
-from repro.obs import span
+from repro.obs import EventLog, ProgressReporter, metrics, reporting, span
 
 #: How many queued jobs one worker may claim per dispatch; batching lets
 #: ``engine.run_batch`` deduplicate and share compiles within the claim.
 DEFAULT_BATCH_SIZE = 8
+
+#: Default slow-job threshold (seconds end-to-end); overridable per
+#: scheduler (``slow_job_seconds=``) or via ``REPRO_SLOW_JOB_SECONDS``.
+#: ``0`` disables the slow-job log.
+DEFAULT_SLOW_JOB_SECONDS = 30.0
+
+#: How many slow-job status snapshots the scheduler retains.
+SLOW_JOB_LOG_SIZE = 64
+
+_log = logging.getLogger(__name__)
 
 
 class JobPriority(IntEnum):
@@ -80,6 +93,13 @@ class Job:
     Coalesced jobs (identical in-flight requests) share the primary
     job's future and mirror its state, but keep their own id and
     submission timestamp so per-client accounting stays truthful.
+
+    Every job owns an :class:`~repro.obs.EventLog` recording its
+    lifecycle (``queued -> coalesced|dispatched -> running -> done |
+    failed | cancelled``) plus any ``progress`` events the analysis
+    publishes while it runs; the daemon's ``watch``/``events`` RPCs
+    stream it.  A coalesced job's log holds only its own ``queued`` and
+    ``coalesced`` entries — execution events live on the primary.
     """
 
     def __init__(
@@ -101,6 +121,16 @@ class Job:
         self.finished_at: float | None = None
         self.error: str | None = None
         self._state = JobState.QUEUED
+        self.events = EventLog()
+        #: Last progress phase the running analysis reported (dotted
+        #: path, e.g. ``fixpoint.round``); None before any progress.
+        self.phase: str | None = None
+
+    def record(self, event: str, **fields) -> dict:
+        """Append one lifecycle or progress event to this job's log."""
+        if event == "progress" and "phase" in fields:
+            self.phase = fields["phase"]
+        return self.events.append(event, job_id=self.id, **fields)
 
     # ------------------------------------------------------------------
     # State
@@ -145,6 +175,7 @@ class Job:
         return {
             "job_id": self.id,
             "state": self.state.value,
+            "phase": source.phase,
             "priority": self.priority.name.lower(),
             "label": self.request.describe(),
             "coalesced_into": self.primary.id if self.primary else None,
@@ -171,6 +202,10 @@ class SchedulerStats:
     #: Dispatches claimed solo because the job fans out over shard worker
     #: processes (see :meth:`JobScheduler._fans_out`).
     fanout_dispatches: int = 0
+    #: Jobs whose end-to-end latency exceeded the slow-job threshold.
+    slow_jobs: int = 0
+    #: Currently queued jobs by priority name (``{"high": 0, ...}``).
+    queue_depth: dict = field(default_factory=dict)
 
     def __str__(self) -> str:
         return (
@@ -187,6 +222,25 @@ class SchedulerShutdown(RuntimeError):
     """Raised for submissions to a scheduler that has been shut down."""
 
 
+class _BatchProgress(ProgressReporter):
+    """Multiplexes analysis progress onto every job in one dispatched
+    batch.
+
+    Batches execute through ``engine.run_batch``, which interleaves the
+    member requests, so progress inside a batch is attributed to the
+    whole claim — exactly like the batch span's ``job_ids`` attribute.
+    Fan-out (process-sharded) jobs dispatch solo, so the jobs that emit
+    the most progress get exact attribution.
+    """
+
+    def __init__(self, jobs: list[Job]):
+        self._jobs = jobs
+
+    def publish(self, phase: str, **fields) -> None:
+        for job in self._jobs:
+            job.record("progress", phase=phase, **fields)
+
+
 class JobScheduler:
     """Priority-queue front end over one :class:`AnalysisEngine`."""
 
@@ -196,10 +250,18 @@ class JobScheduler:
         max_workers: int = 2,
         batch_size: int = DEFAULT_BATCH_SIZE,
         autostart: bool = True,
+        slow_job_seconds: float | None = None,
     ):
         self.engine = engine if engine is not None else AnalysisEngine()
         self.max_workers = max(1, max_workers)
         self.batch_size = max(1, batch_size)
+        if slow_job_seconds is None:
+            slow_job_seconds = float(
+                os.environ.get("REPRO_SLOW_JOB_SECONDS", DEFAULT_SLOW_JOB_SECONDS)
+            )
+        #: End-to-end latency above which a job lands in the slow-job
+        #: log (and a warning is logged); 0 disables.
+        self.slow_job_seconds = max(0.0, slow_job_seconds)
         self._lock = threading.Condition()
         self._heap: list[tuple[int, int, Job]] = []
         self._ticket = itertools.count()
@@ -209,6 +271,8 @@ class JobScheduler:
         self._running = 0
         self._shutdown = False
         self._stats = SchedulerStats()
+        self._queue_depth = {priority: 0 for priority in JobPriority}
+        self._slow_jobs: deque[dict] = deque(maxlen=SLOW_JOB_LOG_SIZE)
         self._workers: list[threading.Thread] = []
         if autostart:
             self.start_workers()
@@ -253,6 +317,8 @@ class JobScheduler:
                 self._jobs[job.id] = job
                 primary.followers += 1
                 self._stats.coalesced += 1
+                job.record("queued", priority=priority.name.lower())
+                job.record("coalesced", into=primary.id)
                 if (
                     priority < primary.priority
                     and primary.state is JobState.QUEUED
@@ -261,7 +327,10 @@ class JobScheduler:
                     # primary: bump it.  The old heap entry stays behind
                     # and is skipped on pop (no longer QUEUED by then or
                     # claimed through the new entry first).
+                    self._depth_changed(primary.priority, -1)
                     primary.priority = priority
+                    self._depth_changed(priority, +1)
+                    primary.record("bumped", priority=priority.name.lower(), by=job.id)
                     heapq.heappush(
                         self._heap, (int(priority), next(self._ticket), primary)
                     )
@@ -276,6 +345,10 @@ class JobScheduler:
             ):
                 self._stats.sharded_jobs += 1
             heapq.heappush(self._heap, (int(priority), next(self._ticket), job))
+            self._depth_changed(priority, +1)
+            job.record(
+                "queued", priority=priority.name.lower(), label=request.describe()
+            )
             self._lock.notify()
             return job
 
@@ -301,6 +374,8 @@ class JobScheduler:
             job.finished_at = time.monotonic()
             self._inflight.pop(job.request.result_key(), None)
             self._stats.cancelled += 1
+            self._depth_changed(job.priority, -1)
+            job.record("cancelled")
         job.future.cancel()
         return True
 
@@ -312,7 +387,23 @@ class JobScheduler:
                 1 for _, _, job in self._heap if job.state is JobState.QUEUED
             )
             snapshot.running = self._running
+            snapshot.queue_depth = {
+                priority.name.lower(): depth
+                for priority, depth in self._queue_depth.items()
+            }
             return snapshot
+
+    def recent_jobs(self, limit: int = 32) -> list[dict]:
+        """Status snapshots of the most recently submitted jobs (the
+        ``top`` RPC's job table)."""
+        with self._lock:
+            jobs = list(self._jobs.values())[-max(1, limit):]
+        return [job.status() for job in jobs]
+
+    def slow_jobs(self) -> list[dict]:
+        """Status snapshots of jobs that breached the slow threshold."""
+        with self._lock:
+            return [dict(entry) for entry in self._slow_jobs]
 
     def drain(self, timeout: float | None = None) -> bool:
         """Block until every submitted job has finished; True iff the
@@ -348,6 +439,14 @@ class JobScheduler:
     # ------------------------------------------------------------------
     def _next_id(self) -> str:
         return f"job-{next(self._job_seq):06d}"
+
+    def _depth_changed(self, priority: JobPriority, delta: int) -> None:
+        """Track per-priority queue depth (caller holds the lock) and
+        mirror it into the metrics registry's gauges."""
+        self._queue_depth[priority] += delta
+        metrics().gauge(f"scheduler.queue_depth.{priority.name.lower()}").set(
+            self._queue_depth[priority]
+        )
 
     @staticmethod
     def _fans_out(request: AnalysisRequest) -> bool:
@@ -388,6 +487,10 @@ class JobScheduler:
                 heapq.heappop(self._heap)
                 job._state = JobState.RUNNING
                 job.started_at = time.monotonic()
+                self._depth_changed(job.priority, -1)
+                queue_wait = job.started_at - job.submitted_at
+                metrics().histogram("scheduler.queue_wait_seconds").observe(queue_wait)
+                job.record("dispatched", queued_seconds=round(queue_wait, 6))
                 batch.append(job)
                 if fans_out:
                     self._stats.fanout_dispatches += 1
@@ -414,20 +517,27 @@ class JobScheduler:
                     max(job.started_at - job.submitted_at for job in batch), 6
                 ),
             ) as batch_span:
-                try:
-                    results = self.engine.run_batch([job.request for job in batch])
-                except Exception:
-                    # A batch-level failure says nothing about which request
-                    # is at fault — retry them individually so healthy jobs
-                    # still complete and only the offender fails.
-                    results = None
+                for job in batch:
+                    job.record("running", jobs_in_batch=len(batch))
+                with reporting(_BatchProgress(batch)):
+                    try:
+                        results = self.engine.run_batch(
+                            [job.request for job in batch]
+                        )
+                    except Exception:
+                        # A batch-level failure says nothing about which
+                        # request is at fault — retry them individually so
+                        # healthy jobs still complete and only the
+                        # offender fails.
+                        results = None
                 if results is not None:
                     for job, result in zip(batch, results):
                         self._finish(job, result=result)
                 else:
                     batch_span.set(retried_individually=True)
                     for job in batch:
-                        with span("scheduler.job", job_id=job.id) as job_span:
+                        with span("scheduler.job", job_id=job.id) as job_span, \
+                                reporting(_BatchProgress([job])):
                             try:
                                 result = self.engine.run(job.request)
                             except Exception as error:  # noqa: BLE001 — job-level report
@@ -439,13 +549,41 @@ class JobScheduler:
     def _finish(self, job: Job, result=None, error: Exception | None = None) -> None:
         with self._lock:
             job.finished_at = time.monotonic()
+            execute_seconds = job.finished_at - (job.started_at or job.finished_at)
+            e2e_seconds = job.finished_at - job.submitted_at
+            registry = metrics()
+            registry.histogram("scheduler.execute_seconds").observe(execute_seconds)
+            registry.histogram("scheduler.e2e_seconds").observe(e2e_seconds)
             if error is not None:
                 job._state = JobState.FAILED
                 job.error = f"{type(error).__name__}: {error}"
                 self._stats.failed += 1
+                job.record(
+                    "failed",
+                    error=job.error,
+                    execute_seconds=round(execute_seconds, 6),
+                    e2e_seconds=round(e2e_seconds, 6),
+                )
             else:
                 job._state = JobState.DONE
                 self._stats.completed += 1
+                job.record(
+                    "done",
+                    execute_seconds=round(execute_seconds, 6),
+                    e2e_seconds=round(e2e_seconds, 6),
+                    followers=job.followers,
+                )
+            if self.slow_job_seconds and e2e_seconds >= self.slow_job_seconds:
+                self._stats.slow_jobs += 1
+                registry.counter("scheduler.slow_jobs").inc()
+                entry = job.status()
+                entry["e2e_seconds"] = round(e2e_seconds, 6)
+                self._slow_jobs.append(entry)
+                _log.warning(
+                    "slow job %s: %.1fs end-to-end (threshold %.1fs): %s",
+                    job.id, e2e_seconds, self.slow_job_seconds,
+                    job.request.describe(),
+                )
             self._running -= 1
             inflight = self._inflight.get(job.request.result_key())
             if inflight is job:

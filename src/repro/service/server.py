@@ -17,9 +17,22 @@ result   ``job_id``, ``timeout`` (seconds, optional)   ``job``, ``result``
 analyze  ``request``, ``priority``, ``timeout``        submit + wait in one call
 mitigate ``request``, ``optimize``                     ``mitigation`` (wire form)
 stats    —                                             engine/scheduler/store/metrics
+metrics  —                                             ``metrics`` (registry snapshot)
+events   ``job_id``                                    ``events`` (lifecycle log), ``job``
+top      ``limit``                                     ``top`` (queue/worker/job view)
+watch    ``job_id``, ``heartbeat``, ``timeout``        *streaming* (see below)
 trace    ``job_id``                                    ``spans`` (completed span dicts)
 shutdown —                                             acknowledgement
 ======== ============================================= =========================
+
+``watch`` is the one streaming op: instead of a single response line the
+server tails the job's event log, writing one ``{"ok": true, "event":
+...}`` line per lifecycle/progress event, an ``{"ok": true,
+"heartbeat": ...}`` line whenever ``heartbeat`` seconds pass without an
+event (so clients can distinguish "quiet" from "dead"), and finally one
+``{"ok": true, "done": true, "job": ...}`` line when the job reaches a
+terminal state.  The connection stays usable for further requests
+afterwards.
 
 The server keeps a bounded in-memory :class:`~repro.obs.SpanBuffer`
 attached to the process tracer, so the ``trace`` op can return the span
@@ -77,12 +90,16 @@ class ReproServer:
         port: int = 0,
         max_workers: int = 2,
         batch_size: int = 8,
+        slow_job_seconds: float | None = None,
     ):
         self.engine = engine if engine is not None else AnalysisEngine()
         if store_dir is not None and self.engine.result_store is None:
             self.engine.attach_result_store(ResultStore(store_dir))
         self.scheduler = JobScheduler(
-            self.engine, max_workers=max_workers, batch_size=batch_size
+            self.engine,
+            max_workers=max_workers,
+            batch_size=batch_size,
+            slow_job_seconds=slow_job_seconds,
         )
         self._mitigations = LRUCache(maxsize=64)
         # Mitigation synthesis runs on the connection thread (it is a
@@ -167,6 +184,15 @@ class ReproServer:
                     if not isinstance(parsed, dict):
                         raise WireError("protocol messages must be JSON objects")
                     message = parsed
+                    if message.get("op") == "watch":
+                        # The one streaming op: writes its own response
+                        # lines (events, heartbeats, terminal line) and
+                        # leaves the connection usable afterwards.
+                        try:
+                            self._stream_watch(message, conn)
+                        except OSError:
+                            return
+                        continue
                     response = self._dispatch(message)
                 except WireError as error:
                     response = {"ok": False, "error": str(error)}
@@ -181,6 +207,60 @@ class ReproServer:
                 if message.get("op") == "shutdown" and response.get("ok"):
                     self.stop()
                     return
+
+    @staticmethod
+    def _send_line(conn: socket.socket, payload: dict) -> None:
+        conn.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+
+    def _stream_watch(self, message: dict, conn: socket.socket) -> None:
+        """The ``watch`` op: tail a job's event log over the wire.
+
+        Streams every lifecycle/progress event as its own response line,
+        emits a heartbeat line whenever ``heartbeat`` seconds pass
+        without one, and closes the stream with a terminal ``done`` line
+        (or an ``ok: false`` line on timeout / unknown job).  A
+        coalesced job's own ``queued``/``coalesced`` events are sent
+        first, then the primary's log is followed — execution events
+        live there.
+        """
+        job = self.scheduler.job(str(message.get("job_id")))
+        if job is None:
+            self._send_line(
+                conn,
+                {"ok": False, "error": f"unknown job {message.get('job_id')!r}"},
+            )
+            return
+        heartbeat = max(0.05, float(message.get("heartbeat") or 2.0))
+        deadline = time.monotonic() + float(
+            message.get("timeout") or DEFAULT_RESULT_TIMEOUT
+        )
+        source = job.primary or job
+        if job.primary is not None:
+            for event in job.events.snapshot():
+                self._send_line(conn, {"ok": True, "event": event})
+        cursor = 0
+        while True:
+            fresh = source.events.wait_since(cursor, timeout=heartbeat)
+            for event in fresh:
+                cursor = max(cursor, event["seq"])
+                self._send_line(conn, {"ok": True, "event": event})
+            if job.done and source.events.last_seq <= cursor:
+                self._send_line(conn, {"ok": True, "done": True, "job": job.status()})
+                return
+            if not fresh:
+                if time.monotonic() >= deadline:
+                    self._send_line(
+                        conn,
+                        {
+                            "ok": False,
+                            "error": f"watch of job {job.id} timed out",
+                            "job": job.status(),
+                        },
+                    )
+                    return
+                self._send_line(
+                    conn, {"ok": True, "heartbeat": time.time(), "job_id": job.id}
+                )
 
     # ------------------------------------------------------------------
     # Operations
@@ -302,11 +382,53 @@ class ReproServer:
                 None if engine_stats.store is None else vars(engine_stats.store)
             ),
             "scheduler": vars(self.scheduler.stats),
+            "slow_jobs": self.scheduler.slow_jobs(),
             # Process-wide registry: pool.*, store.*, fixpoint.*, codec.*
             # counters from every subsystem that ran in this daemon.
             "metrics": metrics().snapshot(),
         }
         return {"ok": True, "stats": payload}
+
+    def _op_metrics(self, message: dict) -> dict:
+        """The full metrics-registry snapshot (for ``repro stats --prom``
+        and scrapers; pure data — rendering happens client-side)."""
+        return {"ok": True, "metrics": metrics().snapshot()}
+
+    def _op_events(self, message: dict) -> dict:
+        """A job's recorded lifecycle + progress events.  For a
+        coalesced job: its own events followed by its primary's (each
+        event carries ``job_id``, so the split is recoverable)."""
+        job = self.scheduler.job(str(message.get("job_id")))
+        if job is None:
+            return {"ok": False, "error": f"unknown job {message.get('job_id')!r}"}
+        events = job.events.snapshot()
+        if job.primary is not None:
+            events += job.primary.events.snapshot()
+        return {"ok": True, "events": events, "job": job.status()}
+
+    def _op_top(self, message: dict) -> dict:
+        """One frame of the live queue/worker view (``repro top``)."""
+        stats = self.scheduler.stats
+        limit = int(message.get("limit") or 32)
+        registry_snapshot = metrics().snapshot()
+        return {
+            "ok": True,
+            "top": {
+                "time": time.time(),
+                "max_workers": self.scheduler.max_workers,
+                "slow_job_seconds": self.scheduler.slow_job_seconds,
+                "scheduler": vars(stats),
+                "slow_jobs": self.scheduler.slow_jobs(),
+                "jobs": self.scheduler.recent_jobs(limit),
+                # Only the scheduler's own latency/depth instruments:
+                # the full registry is the ``metrics`` op's job.
+                "metrics": {
+                    name: payload
+                    for name, payload in registry_snapshot.items()
+                    if name.startswith("scheduler.")
+                },
+            },
+        }
 
     def _op_trace(self, message: dict) -> dict:
         """Completed spans of the dispatch that executed ``job_id``."""

@@ -344,3 +344,224 @@ class TestServiceTelemetry:
         stamp = wire["provenance"]
         assert stamp["result_key"] == request.result_key()
         assert request_from_wire(stamp["request"]) == request
+
+
+# ----------------------------------------------------------------------
+# Progress reporters and the watchable event log
+# ----------------------------------------------------------------------
+class TestProgressPrimitives:
+    def test_null_reporter_is_the_default_and_inactive(self):
+        from repro.obs.progress import NULL_REPORTER
+        from repro.obs import current_reporter
+
+        assert current_reporter() is NULL_REPORTER
+        assert NULL_REPORTER.active is False
+        NULL_REPORTER.publish("anything", pops=1)  # no-op, never raises
+
+    def test_reporting_scopes_nest_and_restore(self):
+        from repro.obs import CollectingReporter, current_reporter, reporting
+
+        outer, inner = CollectingReporter(), CollectingReporter()
+        with reporting(outer):
+            assert current_reporter() is outer
+            with reporting(inner):
+                assert current_reporter() is inner
+            assert current_reporter() is outer
+            # None leaves the current reporter installed.
+            with reporting(None) as active:
+                assert active is outer
+        assert current_reporter().active is False
+
+    def test_publish_progress_routes_to_installed_reporter(self):
+        from repro.obs import CollectingReporter, publish_progress, reporting
+
+        collector = CollectingReporter()
+        with reporting(collector):
+            publish_progress("fixpoint.round", round=3)
+        assert collector.events == [
+            {"phase": "fixpoint.round", "round": 3, "pid": __import__("os").getpid()}
+        ]
+        drained = collector.drain()
+        assert len(drained) == 1 and collector.events == []
+
+    def test_callback_reporter(self):
+        from repro.obs import CallbackReporter, reporting, publish_progress
+
+        seen: list[tuple[str, dict]] = []
+        with reporting(CallbackReporter(lambda phase, fields: seen.append((phase, fields)))):
+            publish_progress("mitigate", leaks=2)
+        assert seen == [("mitigate", {"leaks": 2})]
+
+    def test_republish_reemits_relayed_events(self):
+        from repro.obs import CollectingReporter, reporting, republish
+
+        relayed = [{"phase": "fixpoint.shard", "shard": 1, "pid": 99999}]
+        sink = CollectingReporter()
+        with reporting(sink):
+            republish(relayed)
+        assert sink.events == [{"phase": "fixpoint.shard", "shard": 1, "pid": 99999}]
+        republish(relayed)  # without a reporter: a silent no-op
+
+    def test_event_log_stamps_and_orders(self):
+        from repro.obs import EventLog
+
+        log = EventLog()
+        first = log.append("queued", priority="normal")
+        second = log.append("dispatched")
+        assert (first["seq"], second["seq"]) == (1, 2)
+        assert first["t"] <= second["t"] and first["ts"] <= second["ts"]
+        assert log.last_seq == 2
+        assert [e["event"] for e in log.snapshot()] == ["queued", "dispatched"]
+        assert [e["event"] for e in log.since(1)] == ["dispatched"]
+
+    def test_event_log_reserved_keys_cannot_be_forged(self):
+        from repro.obs import EventLog
+
+        log = EventLog()
+        entry = log.append("progress", seq=999, t=-1.0, ts=-1.0)
+        assert entry["seq"] == 1 and entry["event"] == "progress"
+        assert entry["t"] > 0 and entry["ts"] > 0
+
+    def test_event_log_capacity_bounds_memory(self):
+        from repro.obs import EventLog
+
+        log = EventLog(capacity=4)
+        for index in range(10):
+            log.append("progress", index=index)
+        snapshot = log.snapshot()
+        assert len(snapshot) == 4
+        assert [e["index"] for e in snapshot] == [6, 7, 8, 9]
+        assert log.last_seq == 10  # seq never resets on drops
+
+    def test_wait_since_blocks_until_append(self):
+        import threading
+
+        from repro.obs import EventLog
+
+        log = EventLog()
+        results: list[list] = []
+
+        def watcher():
+            results.append(log.wait_since(0, timeout=10.0))
+
+        thread = threading.Thread(target=watcher)
+        thread.start()
+        log.append("done")
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert [e["event"] for e in results[0]] == ["done"]
+
+    def test_wait_since_times_out_empty(self):
+        import time
+
+        from repro.obs import EventLog
+
+        log = EventLog()
+        started = time.monotonic()
+        assert log.wait_since(0, timeout=0.05) == []
+        assert time.monotonic() - started < 5.0
+
+    def test_log_reporter_writes_progress_entries(self):
+        from repro.obs import EventLog, LogReporter
+
+        log = EventLog()
+        LogReporter(log).publish("fixpoint", pops=4096)
+        entry = log.snapshot()[0]
+        assert entry["event"] == "progress"
+        assert entry["phase"] == "fixpoint" and entry["pops"] == 4096
+
+
+# ----------------------------------------------------------------------
+# Bucket-interpolated quantiles and Prometheus exposition
+# ----------------------------------------------------------------------
+class TestHistogramQuantile:
+    def test_empty_histogram_has_no_quantile(self):
+        from repro.obs.metrics import Histogram
+
+        assert Histogram("h").quantile(0.5) is None
+
+    def test_single_observation_pins_all_quantiles(self):
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("h", edges=(1.0, 2.0, 4.0))
+        histogram.observe(1.5)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            value = histogram.quantile(q)
+            assert 1.0 <= value <= 2.0, f"q={q} escaped the bucket: {value}"
+
+    def test_quantiles_are_monotone_and_bounded_by_min_max(self):
+        import random
+
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("h")
+        rng = random.Random(7)
+        samples = [rng.uniform(0.002, 8.0) for _ in range(500)]
+        for sample in samples:
+            histogram.observe(sample)
+        quantiles = [histogram.quantile(q) for q in (0.1, 0.5, 0.9, 0.99)]
+        assert quantiles == sorted(quantiles)
+        assert min(samples) <= quantiles[0] and quantiles[-1] <= max(samples)
+
+    def test_quantile_accuracy_within_bucket_width(self):
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("h", edges=(0.1, 0.2, 0.3, 0.4, 0.5))
+        samples = [0.05 + 0.01 * i for i in range(45)]  # 0.05 .. 0.49
+        for sample in samples:
+            histogram.observe(sample)
+        exact = sorted(samples)[len(samples) // 2]
+        estimate = histogram.quantile(0.5)
+        assert abs(estimate - exact) <= 0.1, "error must stay within one bucket"
+
+    def test_overflow_bucket_tightened_by_max(self):
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("h", edges=(1.0,))
+        histogram.observe(50.0)
+        assert 1.0 <= histogram.quantile(0.99) <= 50.0
+
+    def test_works_on_rpc_payloads(self):
+        import json
+
+        from repro.obs.metrics import Histogram, histogram_quantile
+
+        histogram = Histogram("h")
+        for value in (0.02, 0.04, 0.3):
+            histogram.observe(value)
+        payload = json.loads(json.dumps(histogram.to_dict()))
+        assert histogram_quantile(payload, 0.5) == histogram.quantile(0.5)
+
+
+class TestPrometheusRendering:
+    def test_counter_gauge_histogram_families(self):
+        from repro.obs import MetricsRegistry, render_prometheus
+
+        registry = MetricsRegistry()
+        registry.counter("fixpoint.pops").inc(12)
+        registry.gauge("scheduler.queue_depth.high").set(3)
+        registry.histogram("scheduler.e2e_seconds").observe(0.02)
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE repro_fixpoint_pops_total counter" in text
+        assert "repro_fixpoint_pops_total 12" in text
+        assert "repro_scheduler_queue_depth_high 3" in text
+        assert '# TYPE repro_scheduler_e2e_seconds histogram' in text
+        assert 'repro_scheduler_e2e_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_scheduler_e2e_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_rendering_is_deterministic(self):
+        from repro.obs import MetricsRegistry, render_prometheus
+
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        snapshot = registry.snapshot()
+        assert render_prometheus(snapshot) == render_prometheus(snapshot)
+        lines = render_prometheus(snapshot).splitlines()
+        assert lines.index("repro_a_total 1") < lines.index("repro_b_total 1")
+
+    def test_empty_snapshot_renders_empty(self):
+        from repro.obs import render_prometheus
+
+        assert render_prometheus({}) == ""
