@@ -51,11 +51,16 @@ def main(argv: list[str]) -> None:
                 f"(line {site.line}, block {site.block})"
             )
         baseline, optimized = result.baseline, result.optimized
-        print(
-            f"  baseline : {baseline.source_fences} fences, "
-            f"WCET overhead {baseline.wcet_overhead_cycles:+d} cycles, "
-            f"verified={baseline.verified}"
-        )
+        if baseline is None:
+            # The incremental loop only scores the fence-every-branch
+            # strawman when the minimiser fails to verify a placement.
+            print("  baseline : skipped (optimized placement verified)")
+        else:
+            print(
+                f"  baseline : {baseline.source_fences} fences, "
+                f"WCET overhead {baseline.wcet_overhead_cycles:+d} cycles, "
+                f"verified={baseline.verified}"
+            )
         if optimized is not None:
             placed = ", ".join(point.describe() for point in optimized.points)
             print(

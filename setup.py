@@ -9,7 +9,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.4.0",
+    version="1.5.0",
     description=(
         "Abstract interpretation under speculative execution (PLDI 2019 "
         "reproduction), served as a system: persistent result store, async "

@@ -82,6 +82,17 @@ class DepthChooser:
                 return False
         return True
 
+    def export_state(self) -> tuple[dict[int, int], frozenset[int]]:
+        """``({color: active window depth}, locked colors)`` — the part of
+        the chooser an :class:`~repro.engine.incremental.AnalysisSnapshot`
+        retains.  Depths (not window objects) are stored so a snapshot
+        never keeps an old program's window block sets alive; the warm
+        solver re-binds each depth to the matching scenario's window."""
+        return (
+            {color: window.depth for color, window in self._active.items()},
+            frozenset(self._locked_long),
+        )
+
     def absorb(self, other: "DepthChooser") -> None:
         """Fold another chooser's per-color decisions into this one.
 

@@ -96,7 +96,7 @@ from __future__ import annotations
 
 import contextlib
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.analysis.depth import DepthChooser
 from repro.analysis.result import AccessClassification, CacheAnalysisResult
@@ -114,6 +114,7 @@ from repro.engine.pool import PersistentWorkerPool, WorkerPoolError, default_max
 from repro.engine.request import SHARD_BACKENDS
 from repro.engine.worklist import PriorityWorklist, WideningPolicy, run_fixpoint
 from repro.frontend import CompiledProgram
+from repro.ir.cfg import diff_cfgs
 from repro.ir.loops import find_natural_loops
 from repro.obs import (
     CollectingReporter,
@@ -127,7 +128,13 @@ from repro.obs import (
 )
 from repro.obs.progress import POP_PUBLISH_INTERVAL
 from repro.speculation.config import SpeculationConfig
-from repro.speculation.vcfg import SpeculationScenario, VirtualCFG, build_vcfg
+from repro.speculation.vcfg import (
+    SpeculationScenario,
+    VCFGBaseline,
+    VirtualCFG,
+    build_vcfg,
+    build_vcfg_incremental,
+)
 
 #: A speculative-state slot key; see the module docstring.
 SlotKey = tuple
@@ -179,6 +186,60 @@ class SpeculativeFixpoint:
 
 
 @dataclass
+class WarmStartData:
+    """A retained prior fixpoint, decoded and ready to seed a warm solve.
+
+    Built by :mod:`repro.engine.incremental` from an
+    :class:`~repro.engine.incremental.AnalysisSnapshot`; everything here is
+    expressed in the *old* program's terms (old scenario colors, old block
+    set) — :meth:`SpeculativeCacheAnalysis._plan_warm` maps it onto the
+    edited program.
+    """
+
+    #: ``{block name: content fingerprint}`` of the predecessor CFG.
+    block_fingerprints: dict[str, str]
+    #: Successor lists of the predecessor CFG (the edited CFG cannot
+    #: reconstruct where removed/rewritten blocks used to deliver).
+    old_successors: dict[str, tuple[str, ...]]
+    #: The predecessor's speculation scenarios (old colors).
+    scenarios: tuple[SpeculationScenario, ...]
+    #: The predecessor fixpoint's normal states per block.
+    normal: dict[str, object]
+    #: The predecessor fixpoint's speculative slots per block (old colors).
+    slots: dict[str, dict[SlotKey, object]]
+    #: Depth of each old color's active window at the end of the prior run.
+    chooser_active_depths: dict[int, int]
+    #: Old colors whose window choice was locked to the long window.
+    chooser_locked: frozenset[int]
+    #: The predecessor run's classifications, for per-block reuse during
+    #: :meth:`SpeculativeCacheAnalysis._classify_warm` (None disables it).
+    classifications: tuple[AccessClassification, ...] | None = None
+    #: Per-block source-line signatures of the predecessor CFG.
+    #: Classifications embed the source lines of the accesses they report,
+    #: so reuse additionally requires the block's lines to match (content
+    #: fingerprints are deliberately line-insensitive).
+    block_line_signatures: dict[str, str] | None = None
+
+
+@dataclass
+class _WarmPlan:
+    """The affected-region computation for one warm solve."""
+
+    warm: WarmStartData
+    #: Blocks whose states must be recomputed from bottom.
+    affected: set[str]
+    #: ``{old color: new scenario}`` for scenarios whose structure is
+    #: unchanged *and* whose branch block is outside the affected region —
+    #: only these have their slots and chooser decisions seeded.
+    stable: dict[int, SpeculationScenario]
+    #: Branch blocks that must re-run injection even though their own
+    #: normal state is untouched: they carry scenarios being rebuilt from
+    #: scratch (unstable, or demoted from stable), whose slots can only be
+    #: repopulated by a fresh injection.
+    force_branches: set[str]
+
+
+@dataclass
 class _Shard:
     """One group of colors plus the per-shard solver state that persists
     across outer rounds of the sharded scheduler."""
@@ -208,6 +269,7 @@ class SpeculativeCacheAnalysis:
         scenario_shards: int = 1,
         shard_threads: bool = False,
         shard_backend: str | None = None,
+        warm_start: WarmStartData | None = None,
     ):
         if mode not in ("sparse", "dense"):
             raise ValueError(f"unknown engine mode {mode!r}")
@@ -223,7 +285,27 @@ class SpeculativeCacheAnalysis:
         #: Which backend the last sharded solve actually executed on
         #: (None until then; "serial" after a process-backend fallback).
         self.shard_backend_used: str | None = None
-        self.vcfg: VirtualCFG = build_vcfg(self.cfg, self.speculation)
+        self.warm_start = warm_start
+        #: Reuse counters of the last warm solve (or the fallback reason);
+        #: None until solve() runs with a warm_start.
+        self.warm_info: dict | None = None
+        #: The raw fixpoint of the last run() — what a snapshot retains.
+        self.last_fixpoint: SpeculativeFixpoint | None = None
+        #: The warm plan of the last solve, when one was used (drives
+        #: classification reuse in run()).
+        self._warm_plan: _WarmPlan | None = None
+        if warm_start is not None:
+            self.vcfg, self._vcfg_reuse = build_vcfg_incremental(
+                self.cfg,
+                self.speculation,
+                VCFGBaseline(
+                    block_fingerprints=warm_start.block_fingerprints,
+                    scenarios=warm_start.scenarios,
+                ),
+            )
+        else:
+            self.vcfg = build_vcfg(self.cfg, self.speculation)
+            self._vcfg_reuse = None
         self.table = AccessTable(self.cfg, self.layout)
         self.chooser = DepthChooser(self.speculation, self.layout)
         self.secret_symbols = set(program.info.secret_symbols)
@@ -326,11 +408,14 @@ class SpeculativeCacheAnalysis:
             shards=self.scenario_shards,
         ) as fixpoint_span:
             fixpoint = self.solve()
+            self.last_fixpoint = fixpoint
             fixpoint_span.set(
                 iterations=fixpoint.iterations,
                 widenings=fixpoint.widenings,
                 backend=self.shard_backend_used,
             )
+            if self.warm_info is not None:
+                fixpoint_span.set(warm=self.warm_info.get("used", False))
         registry = metrics()
         registry.counter("fixpoint.pops").inc(fixpoint.iterations)
         registry.counter("fixpoint.widenings").inc(fixpoint.widenings)
@@ -353,7 +438,10 @@ class SpeculativeCacheAnalysis:
             "classify", program=self.cfg.name, iterations=fixpoint.iterations
         )
         with span("classify", program=self.cfg.name) as classify_span:
-            result.classifications = self._classify(fixpoint)
+            if self._warm_plan is not None:
+                result.classifications = self._classify_warm(fixpoint, self._warm_plan)
+            else:
+                result.classifications = self._classify(fixpoint)
             classify_span.set(sites=len(result.classifications))
         return result
 
@@ -361,6 +449,18 @@ class SpeculativeCacheAnalysis:
     # Fixpoint dispatch
     # ------------------------------------------------------------------
     def solve(self) -> SpeculativeFixpoint:
+        if self.warm_start is not None and (
+            self.mode == "dense" or self.scenario_shards >= 2
+        ):
+            # Warm starts are defined for the canonical sparse engine only;
+            # the dense reference and the sharded (exact-fixpoint) paths
+            # run cold.  The engine layer gates these before dispatch, so
+            # this is belt-and-braces bookkeeping.
+            self.warm_info = {
+                "used": False,
+                "fallback": "dense" if self.mode == "dense" else "sharded",
+            }
+            self.warm_start = None
         if self.mode == "dense":
             return self._solve_dense()
         if self.scenario_shards >= 2:
@@ -378,6 +478,10 @@ class SpeculativeCacheAnalysis:
                     # also surface any genuine analysis bug locally).
                     pass
             return self._solve_sharded()
+        if self.warm_start is not None:
+            plan = self._plan_warm(self.warm_start)
+            if plan is not None:
+                return self._solve_warm(plan)
         return self._solve_sparse()
 
     def _schedule_order(self) -> dict[str, int]:
@@ -418,6 +522,253 @@ class SpeculativeCacheAnalysis:
             visits=visits,
             normal_changed=set(),
             description="speculative fixpoint",
+        )
+        fixpoint.widenings = policy.widenings
+        return fixpoint
+
+    # ------------------------------------------------------------------
+    # Warm-started sparse fixpoint (incremental re-analysis)
+    # ------------------------------------------------------------------
+    def _plan_warm(self, warm: WarmStartData) -> _WarmPlan | None:
+        """Map a retained prior run onto the edited program.
+
+        Computes the *affected region* — the blocks whose fixpoint
+        equations (or equation inputs) differ from the predecessor's —
+        and the set of scenarios whose slots can be seeded verbatim.
+        Every block outside the affected region has an equation system
+        identical to the predecessor's and closed under its inputs, so
+        its old value *is* the new least-fixpoint value; draining only
+        the affected region from bottom therefore reproduces the cold
+        lfp bit-for-bit.
+
+        Returns None (cold fallback) when widening could fire: widening
+        timing depends on visit counts, which a warm schedule changes.
+        Fully-unrolled programs — the default pipeline — have no natural
+        loops, so neither a cold nor a warm run ever widens on them.
+        """
+        if self._widening_policy().points:
+            self.warm_info = {"used": False, "fallback": "widening"}
+            return None
+
+        cfg = self.cfg
+        reachable = set(cfg.reachable_blocks())
+        diff = diff_cfgs(warm.block_fingerprints, cfg)
+
+        # --- scenario correspondence (structural, by branch identity) ----
+        old_by_key = {
+            (s.branch_block, s.mispredicted_taken): s for s in warm.scenarios
+        }
+        stable: dict[int, SpeculationScenario] = {}
+        matched_old: set[int] = set()
+        unstable_new: list[SpeculationScenario] = []
+        for new in self.vcfg.scenarios:
+            old = old_by_key.get((new.branch_block, new.mispredicted_taken))
+            if (
+                old is not None
+                and new.branch_block in diff.unchanged
+                and old.wrong_target == new.wrong_target
+                and old.correct_target == new.correct_target
+                and old.cond_refs == new.cond_refs
+                and old.window_miss == new.window_miss
+                and old.window_hit == new.window_hit
+                and old.convergence_block == new.convergence_block
+            ):
+                stable[old.color] = new
+                matched_old.add(old.color)
+            else:
+                unstable_new.append(new)
+        unstable_old = [s for s in warm.scenarios if s.color not in matched_old]
+
+        # --- closure seeds ------------------------------------------------
+        seeds: set[str] = set()
+        for name in diff.changed | diff.added:
+            if name in reachable:
+                seeds.add(name)
+        # Removed/rewritten blocks used to deliver into their *old*
+        # successors; those inputs are gone and must be recomputed.
+        for name in diff.changed | diff.removed:
+            for successor in warm.old_successors.get(name, ()):
+                if successor in reachable:
+                    seeds.add(successor)
+        # A scenario whose structure changed re-derives every rollback and
+        # conversion contribution; the states that absorbed the old ones
+        # must be rebuilt.
+        for scenario in unstable_new:
+            for target in (scenario.correct_target, scenario.convergence_block):
+                if target and target in reachable:
+                    seeds.add(target)
+        for scenario in unstable_old:
+            for target in (scenario.correct_target, scenario.convergence_block):
+                if target and target in reachable:
+                    seeds.add(target)
+
+        # --- forward closure over delivery edges --------------------------
+        # Ordinary successor edges cover normal propagation, window
+        # propagation, resume propagation, conversion, and injection
+        # (a branch's mispredicted target is one of its successors).  The
+        # one delivery that jumps is rollback: a window block feeds the
+        # scenario's correct target, so an affected block inside a window
+        # taints that target.  Stable scenarios share window geometry with
+        # their predecessors, and unstable ones had their targets seeded
+        # above, so triggers over the *new* scenarios suffice.
+        rollback_trigger: dict[str, list[str]] = {}
+        for scenario in self.vcfg.scenarios:
+            blocks = set(scenario.window_miss.allowed)
+            blocks.add(scenario.branch_block)
+            blocks.add(scenario.wrong_target)
+            for name in blocks:
+                rollback_trigger.setdefault(name, []).append(scenario.correct_target)
+        affected: set[str] = set()
+        stack = list(seeds)
+        while stack:
+            name = stack.pop()
+            if name in affected or name not in reachable:
+                continue
+            affected.add(name)
+            stack.extend(cfg.successors(name))
+            stack.extend(rollback_trigger.get(name, ()))
+
+        # --- demote scenarios whose branch landed in the region -----------
+        # The sparse engine's invariant is that a color's window choice is
+        # made (at injection) before any of its slots carry state.  Seeded
+        # slots of a scenario whose branch state is being recomputed would
+        # be processed under the *default* (long) window before the choice
+        # reruns, leaking deliveries a cold run never makes — so such
+        # scenarios are rebuilt from scratch instead of seeded.
+        for old_color, new_scenario in list(stable.items()):
+            if new_scenario.branch_block in affected:
+                del stable[old_color]
+
+        # Rebuilt scenarios whose branch block sits *outside* the region
+        # still need a fresh injection — nothing else repopulates their
+        # slots (processing the branch re-delivers its unchanged normal
+        # state too, a join no-op everywhere it is already seeded).
+        stable_colors = {scenario.color for scenario in stable.values()}
+        force_branches = {
+            scenario.branch_block
+            for scenario in self.vcfg.scenarios
+            if scenario.color not in stable_colors
+            and scenario.branch_block in reachable
+            and scenario.branch_block not in affected
+        }
+
+        self.warm_info = {
+            "used": True,
+            "invalidated_blocks": len(affected),
+            "seeded_blocks": len(reachable) - len(affected),
+            "stable_scenarios": len(stable),
+            "rebuilt_scenarios": len(self.vcfg.scenarios) - len(stable),
+            "changed": len(diff.changed),
+            "added": len(diff.added),
+            "removed": len(diff.removed),
+        }
+        if self._vcfg_reuse is not None:
+            self.warm_info["windows_reused"] = self._vcfg_reuse.get(
+                "windows_reused", 0
+            )
+        return _WarmPlan(
+            warm=warm, affected=affected, stable=stable, force_branches=force_branches
+        )
+
+    def _solve_warm(self, plan: _WarmPlan) -> SpeculativeFixpoint:
+        """Drain the affected region against seeded prior states.
+
+        Produces the same least fixpoint as :meth:`_solve_sparse` from
+        scratch (see :meth:`_plan_warm`); only the pop count differs.
+        """
+        self._warm_plan = plan
+        cfg = self.cfg
+        warm = plan.warm
+        affected = plan.affected
+        reachable = cfg.reachable_blocks()
+        order = self._schedule_order()
+        policy = self._widening_policy()  # no points — checked by _plan_warm
+
+        color_map = {
+            old_color: scenario.color for old_color, scenario in plan.stable.items()
+        }
+        seeded_slots = 0
+        normal: dict[str, object] = {}
+        speculative: dict[str, dict[SlotKey, object]] = {}
+        for name in reachable:
+            if name in affected or name not in warm.normal:
+                normal[name] = self._bottom
+            else:
+                normal[name] = warm.normal[name]
+            slots: dict[SlotKey, object] = {}
+            if name not in affected:
+                for slot, value in warm.slots.get(name, {}).items():
+                    mapped = color_map.get(slot[1])
+                    if mapped is None:
+                        continue
+                    slots[(slot[0], mapped) + tuple(slot[2:])] = value
+                    seeded_slots += 1
+            speculative[name] = slots
+        if cfg.entry in affected:
+            normal[cfg.entry] = new_entry_state(self.cache_config, self._use_shadow)
+
+        # Seed the chooser for stable scenarios: classification reads the
+        # active window of every scenario, including ones the warm drain
+        # never re-processes.  Colors the prior run never chose stay
+        # unseeded and fall back to the same default a cold run uses.
+        for old_color, scenario in plan.stable.items():
+            depth = warm.chooser_active_depths.get(old_color)
+            if depth is None:
+                continue
+            if old_color in warm.chooser_locked:
+                if depth == scenario.window_miss.depth:
+                    self.chooser._active[scenario.color] = scenario.window_miss
+                    self.chooser._locked_long.add(scenario.color)
+            elif depth == scenario.window_hit.depth:
+                self.chooser._active[scenario.color] = scenario.window_hit
+            elif depth == scenario.window_miss.depth:
+                self.chooser._active[scenario.color] = scenario.window_miss
+
+        # Dirty frontier: every unaffected block delivering into the
+        # region re-sends everything it holds (joins into unaffected
+        # targets are no-ops); window slots additionally re-send when
+        # their rollback target is affected, because rollback is the one
+        # delivery that does not follow a successor edge.
+        visits: dict[str, int] = {name: 0 for name in reachable}
+        dirty: dict[str, set] = {name: set() for name in reachable}
+        if cfg.entry in affected:
+            dirty[cfg.entry].add(None)
+        for name in plan.force_branches:
+            dirty[name].add(None)
+        for name in reachable:
+            if name in affected:
+                continue
+            if any(successor in affected for successor in cfg.successors(name)):
+                dirty[name].add(None)
+                dirty[name].update(speculative[name].keys())
+                continue
+            for slot in speculative[name]:
+                if slot[0] != "window":
+                    continue
+                scenario = self._scenario_by_color.get(slot[1])
+                if scenario is not None and scenario.correct_target in affected:
+                    dirty[name].add(slot)
+
+        seeds = sorted(
+            (name for name in reachable if dirty[name]),
+            key=lambda name: order.get(name, 0),
+        )
+        self.warm_info["seeded_slots"] = seeded_slots
+        self.warm_info["frontier_blocks"] = len(seeds)
+
+        fixpoint = SpeculativeFixpoint(normal=normal, speculative=speculative)
+        fixpoint.iterations = self._run_sparse_pass(
+            normal=normal,
+            speculative=speculative,
+            dirty=dirty,
+            seeds=seeds,
+            order=order,
+            chooser=self.chooser,
+            scenarios_by_branch=self._scenarios_by_branch,
+            policy=policy,
+            visits=visits,
+            normal_changed=set(),
+            description="warm speculative fixpoint",
         )
         fixpoint.widenings = policy.widenings
         return fixpoint
@@ -1148,6 +1499,148 @@ class SpeculativeCacheAnalysis:
                         scenario_color=scenario.color,
                     )
                 )
+        return classifications
+
+    def _resume_touched_blocks(self, plan: _WarmPlan) -> set[str]:
+        """Blocks whose resume-slot population differs between the prior
+        run and this one — where the committed (normal) classification
+        cannot be reused even though the block itself is unaffected.
+
+        A resume region is everything reachable from a scenario's correct
+        target without entering its convergence block.  Regions of *stable*
+        scenarios contribute identically in both runs (their slots are
+        seeded verbatim and input-closed).  Regions of rebuilt scenarios
+        are walked over the *new* CFG; regions of old scenarios with no
+        stable counterpart — including ones whose correct target is no
+        longer even reachable, so the affected-region closure never saw
+        them — are walked over the *old* successor lists.
+        """
+        touched: set[str] = set()
+        if not self.speculation.merge_strategy.convert_at_merge_point:
+            # Rollbacks convert into S immediately: no resume slots exist,
+            # and their normal-state contributions are inside the affected
+            # closure already.
+            return touched
+
+        def walk(scenario: SpeculationScenario, successors) -> None:
+            convergence = scenario.convergence_block
+            if convergence is None or convergence == scenario.correct_target:
+                return
+            seen = {scenario.correct_target}
+            stack = [scenario.correct_target]
+            while stack:
+                block = stack.pop()
+                touched.add(block)
+                for successor in successors(block):
+                    if successor != convergence and successor not in seen:
+                        seen.add(successor)
+                        stack.append(successor)
+
+        stable_new_colors = {s.color for s in plan.stable.values()}
+        for scenario in self.vcfg.scenarios:
+            if scenario.color not in stable_new_colors:
+                walk(scenario, self.cfg.successors)
+        old_successors = plan.warm.old_successors
+        for scenario in plan.warm.scenarios:
+            if scenario.color not in plan.stable:
+                walk(scenario, lambda name: old_successors.get(name, ()))
+        return touched
+
+    def _classify_warm(
+        self, fixpoint: SpeculativeFixpoint, plan: _WarmPlan
+    ) -> list[AccessClassification]:
+        """:meth:`_classify`, reusing the prior run's classifications for
+        blocks the edit provably did not touch.
+
+        Reuse is bit-identical to reclassification: a block outside the
+        affected region has unchanged content (changed blocks seed the
+        region), an identical joined state (normal and stable-scenario
+        resume slots are seeded and input-closed; differing resume
+        populations are excluded via :meth:`_resume_touched_blocks`), and
+        — gated by the per-block line signature — identical source lines,
+        so ``classify_block`` would emit exactly the retained objects.
+        The same argument covers window classifications of stable
+        scenarios (equal windows, equal limits, seeded slots); only the
+        scenario color is remapped old→new.
+        """
+        warm = plan.warm
+        if warm.classifications is None or warm.block_line_signatures is None:
+            return self._classify(fixpoint)
+        affected = plan.affected
+        old_lines = warm.block_line_signatures
+        new_lines = self.cfg.block_line_signatures()
+        resume_touched = self._resume_touched_blocks(plan)
+
+        old_normal: dict[str, list[AccessClassification]] = {}
+        old_window: dict[tuple[int, str], list[AccessClassification]] = {}
+        for classification in warm.classifications:
+            if classification.speculative:
+                key = (classification.scenario_color, classification.block)
+                old_window.setdefault(key, []).append(classification)
+            else:
+                old_normal.setdefault(classification.block, []).append(classification)
+
+        reused = 0
+        classifications: list[AccessClassification] = []
+        for block in self.cfg.reachable_blocks():
+            if (
+                block not in affected
+                and block not in resume_touched
+                and old_lines.get(block) == new_lines.get(block)
+                and block in old_lines
+            ):
+                retained = old_normal.get(block, ())
+                classifications.extend(retained)
+                reused += len(retained)
+                continue
+            state = fixpoint.normal[block]
+            for slot, slot_state in fixpoint.speculative.get(block, {}).items():
+                if slot[0] == "resume" and not getattr(slot_state, "is_bottom", False):
+                    state = slot_state if getattr(state, "is_bottom", False) else state.join(slot_state)
+            if getattr(state, "is_bottom", False):
+                continue
+            classifications.extend(
+                classify_block(state, self.table, block, self.secret_symbols)
+            )
+
+        old_color_of = {
+            scenario.color: old_color for old_color, scenario in plan.stable.items()
+        }
+        for scenario in self.vcfg.scenarios:
+            window = self.chooser.active_window(scenario)
+            slot = ("window", scenario.color)
+            old_color = old_color_of.get(scenario.color)
+            for block, limit in window.allowed.items():
+                if (
+                    old_color is not None
+                    and block not in affected
+                    and old_lines.get(block) == new_lines.get(block)
+                    and block in old_lines
+                ):
+                    for retained in old_window.get((old_color, block), ()):
+                        classifications.append(
+                            retained
+                            if retained.scenario_color == scenario.color
+                            else replace(retained, scenario_color=scenario.color)
+                        )
+                        reused += 1
+                    continue
+                state = fixpoint.speculative.get(block, {}).get(slot)
+                if state is None or getattr(state, "is_bottom", False):
+                    continue
+                classifications.extend(
+                    classify_block(
+                        state,
+                        self.table,
+                        block,
+                        self.secret_symbols,
+                        instruction_limit=limit,
+                        speculative=True,
+                        scenario_color=scenario.color,
+                    )
+                )
+        if self.warm_info is not None:
+            self.warm_info["classifications_reused"] = reused
         return classifications
 
 

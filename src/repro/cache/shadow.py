@@ -116,28 +116,33 @@ class ShadowCacheState:
         old_must_age = self.age(block)
         old_shadow_age = self.shadow_age(block)
 
-        # Step 1: update the shadow (may) component.
-        new_may: dict[MemoryBlock, int] = {}
+        # Step 1: update the shadow (may) component.  ``dict(d)`` clones at
+        # C speed without re-hashing any key; only the entries that actually
+        # age (shadow age <= the accessed block's old shadow age — none
+        # when re-touching the youngest line, the hot case in loops) pay a
+        # per-key update.  The accessed block's own entry is overwritten
+        # with 1 at the end, which also undoes its aging-out, so the
+        # result is exactly the rebuilt-from-scratch dict up to key order.
+        new_may = dict(self.may)
         for other, shadow_age in self.may.items():
-            if other == block:
-                continue
             if shadow_age <= old_shadow_age:
                 aged = shadow_age + 1
                 if aged <= self.num_lines:
                     new_may[other] = aged
-            else:
-                new_may[other] = shadow_age
+                else:
+                    del new_may[other]
         new_may[block] = 1
 
         # Step 2: update the must component using NYoung computed on the
         # *new* shadow ages.  NYoung(u) is "how many blocks may sit at age
         # <= Age(u)"; a sorted list of the new shadow ages turns each query
         # into a binary search instead of a scan over the whole may-set.
+        # Only entries strictly younger than the accessed block's old must
+        # age can change (the block's own entry is == old, never <), so the
+        # clone-then-update shape applies here too.
         sorted_shadow_ages = sorted(new_may.values())
-        new_must: dict[MemoryBlock, int] = {}
+        new_must = dict(self.must)
         for other, must_age in self.must.items():
-            if other == block:
-                continue
             if must_age < old_must_age:
                 n_young = bisect_right(sorted_shadow_ages, must_age)
                 if new_may.get(other, AGE_INFINITY) <= must_age:
@@ -146,10 +151,8 @@ class ShadowCacheState:
                     aged = must_age + 1
                     if aged <= self.num_lines:
                         new_must[other] = aged
-                else:
-                    new_must[other] = must_age
-            else:
-                new_must[other] = must_age
+                    else:
+                        del new_must[other]
         new_must[block] = 1
         return ShadowCacheState(
             num_lines=self.num_lines, must=new_must, may=new_may, policy=self.policy
@@ -213,20 +216,20 @@ class ShadowCacheState:
             return self.access_unknown(candidate_blocks)
         bound = max(self.must[placeholder] for placeholder in placeholders)
         placeholder_set = set(placeholders)
-        new_must: dict[MemoryBlock, int] = {}
+        new_must = dict(self.must)
         for block, age in self.must.items():
             if block in placeholder_set:
                 # The array's own footprint does not grow by re-accessing it;
                 # keeping the placeholder bounds is what lets Table 1's loop
                 # converge with decis_lev[1*]/[2*] still resident.
-                new_must[block] = age
                 continue
             if self.may.get(block, AGE_INFINITY) > bound:
-                new_must[block] = age
                 continue
             aged = age + 1
             if aged <= self.num_lines:
                 new_must[block] = aged
+            else:
+                del new_must[block]
         new_may = dict(self.may)
         for block in candidate_blocks:
             new_may[block] = 1

@@ -17,14 +17,25 @@ it by reference.
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.engine.cache import CacheStats, LRUCache
+from repro.engine.incremental import (
+    DEFAULT_SNAPSHOT_CACHE_SIZE,
+    IncrementalStats,
+    SnapshotStore,
+    execute_retaining,
+    snapshot_compatible,
+    snapshot_eligible,
+    snapshot_from_analysis,
+    warm_start_from_snapshot,
+)
 from repro.engine.request import AnalysisKind, AnalysisRequest
 from repro.frontend import CompiledProgram, compile_source
-from repro.obs import span, stamp_for_request
+from repro.obs import metrics, span, stamp_for_request
 
 #: Default capacity of the compile cache (compiled CFGs are the largest
 #: objects the engine retains).
@@ -32,6 +43,10 @@ DEFAULT_COMPILE_CACHE_SIZE = 256
 
 #: Default capacity of the result cache.
 DEFAULT_RESULT_CACHE_SIZE = 1024
+
+#: Environment knob enabling incremental re-analysis when the engine is
+#: constructed without an explicit ``incremental=`` argument.
+INCREMENTAL_ENV = "REPRO_INCREMENTAL"
 
 
 def compile_request(request: AnalysisRequest) -> CompiledProgram:
@@ -103,6 +118,9 @@ class EngineStats:
     #: Tier-2 (on-disk result store) statistics; None when no store is
     #: attached.  Duck-typed so the engine stays below the service layer.
     store: Any = None
+    #: Incremental re-analysis accounting (always present; ``enabled``
+    #: records whether the engine resolves ``warm_from=`` handles).
+    incremental: IncrementalStats = field(default_factory=IncrementalStats)
 
     def __str__(self) -> str:
         lines = [
@@ -113,6 +131,8 @@ class EngineStats:
         ]
         if self.store is not None:
             lines.append(f"  result store:  {self.store}")
+        if self.incremental.enabled or self.incremental.snapshots_stored:
+            lines.append(f"  {self.incremental}")
         return "\n".join(lines)
 
 
@@ -124,6 +144,8 @@ class AnalysisEngine:
         compile_cache_size: int = DEFAULT_COMPILE_CACHE_SIZE,
         result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
         result_store: Any = None,
+        incremental: bool | None = None,
+        snapshot_cache_size: int = DEFAULT_SNAPSHOT_CACHE_SIZE,
     ):
         self._compile_cache = LRUCache(maxsize=compile_cache_size)
         self._result_cache = LRUCache(maxsize=result_cache_size)
@@ -131,6 +153,27 @@ class AnalysisEngine:
         self._requests = 0
         self._batches = 0
         self._parallel_batches = 0
+        #: None defers to the REPRO_INCREMENTAL environment variable at
+        #: each run (so a long-lived default engine follows the knob).
+        self._incremental = incremental
+        self._snapshots = SnapshotStore(maxsize=snapshot_cache_size)
+        self._warm_hits = 0
+        self._cold_fallbacks = 0
+        self._snapshots_stored = 0
+        self._seeded_slots = 0
+        self._invalidated_blocks = 0
+
+    @property
+    def incremental_enabled(self) -> bool:
+        """Whether runs retain snapshots and resolve ``warm_from=`` handles."""
+        if self._incremental is not None:
+            return self._incremental
+        return os.environ.get(INCREMENTAL_ENV, "").strip().lower() in (
+            "1",
+            "true",
+            "yes",
+            "on",
+        )
 
     # ------------------------------------------------------------------
     # Single-request API
@@ -160,11 +203,179 @@ class AnalysisEngine:
             if cached is not None:
                 run_span.set(cache_hit=True)
                 return _copy_result(cached, from_cache=True)
+            if self.incremental_enabled and snapshot_eligible(request):
+                result, warm = self._run_incremental(request, program)
+                run_span.set(cache_hit=False, warm=warm)
+                # Warm results are bit-identical to cold ones, but their
+                # observational fields (iterations, analysis_time) are
+                # not — and result fingerprints include iterations, so a
+                # cached warm result could fail a later `submit --verify`
+                # replay.  Only cold runs populate the result tiers.
+                if not warm:
+                    self._store_result(request, result)
+                return _copy_result(result)
             result = execute_request(
                 request, program=program or self.compile(request)
             )
             self._store_result(request, result)
             run_span.set(cache_hit=False)
+        return _copy_result(result)
+
+    def _resolve_warm_start(self, request: AnalysisRequest, program: CompiledProgram):
+        """``(warm_start, fallback_reason)`` for one eligible request —
+        warm_start is None (with the reason) when the warm_from snapshot is
+        absent or incompatible, and ``(None, None)`` when the request has
+        no warm_from handle at all."""
+        if request.warm_from is None:
+            return None, None
+        snapshot = self._snapshots.get(request.warm_from)
+        if snapshot is None:
+            return None, "snapshot_missing"
+        reason = snapshot_compatible(snapshot, request, program)
+        if reason is not None:
+            return None, reason
+        return warm_start_from_snapshot(snapshot), None
+
+    def _note_warm_outcome(
+        self, request: AnalysisRequest, analysis, seeded: bool, fallback: str | None
+    ) -> bool:
+        """Account one warm attempt; returns whether the run was warm."""
+        warm_info = analysis.warm_info or {}
+        warm = bool(warm_info.get("used"))
+        if seeded and not warm:
+            # The solver itself declined the seed (widening-active
+            # program, or a non-canonical scheduler slipped through).
+            fallback = warm_info.get("fallback", "plan")
+        if request.warm_from is None:
+            return warm
+        registry = metrics()
+        if warm:
+            self._warm_hits += 1
+            self._seeded_slots += warm_info.get("seeded_slots", 0)
+            self._invalidated_blocks += warm_info.get("invalidated_blocks", 0)
+            registry.counter("incremental.warm_hits").inc()
+            registry.counter("incremental.seeded_slots").inc(
+                warm_info.get("seeded_slots", 0)
+            )
+            registry.counter("incremental.invalidated_blocks").inc(
+                warm_info.get("invalidated_blocks", 0)
+            )
+            registry.counter("incremental.classifications_reused").inc(
+                warm_info.get("classifications_reused", 0)
+            )
+        else:
+            self._cold_fallbacks += 1
+            registry.counter("incremental.cold_fallbacks").inc()
+            registry.counter(f"incremental.fallback.{fallback}").inc()
+        return warm
+
+    def _run_incremental(
+        self, request: AnalysisRequest, program: CompiledProgram | None
+    ) -> tuple[Any, bool]:
+        """Execute one snapshot-eligible request, warm-starting from its
+        ``warm_from`` snapshot when possible and retaining a snapshot of
+        the run either way.  Returns ``(result, ran_warm)``."""
+        program = program or self.compile(request)
+        warm_start, fallback = self._resolve_warm_start(request, program)
+        result, analysis = execute_retaining(request, program, warm_start=warm_start)
+        warm = self._note_warm_outcome(
+            request, analysis, warm_start is not None, fallback
+        )
+        # compact=False: in the interactive edit loop the very next
+        # request warm-starts from this snapshot, so a codec encode here
+        # costs more per edit than the warm solve saves on small kernels.
+        # The LRU store bounds how many live state graphs stay pinned.
+        self._snapshots.put(
+            snapshot_from_analysis(request, program, analysis, result, compact=False)
+        )
+        self._snapshots_stored += 1
+        return result, warm
+
+    def run_ephemeral(
+        self,
+        request: AnalysisRequest,
+        program: CompiledProgram,
+        retain: bool = False,
+    ):
+        """Resolve one snapshot-eligible request against an externally
+        patched program, bypassing the result-cache tiers.
+
+        The mitigation loop scores fence candidates through here:
+        ``program`` is an IR-patched twin of what ``request.source``
+        compiles to — verdict-identical, but its inserted fences carry
+        line 0 while recompiling the source would shift later statements'
+        lines.  Such *results* must never be stored under the request's
+        keys, where a later genuine run would replay them; warm-starting
+        from ``request.warm_from`` still applies, and content-keyed reuse
+        (vcfg windows, per-block states) is line-insensitive by design, so
+        the speedup survives the quarantine.
+
+        ``retain=True`` additionally stores a *snapshot* of the run, so a
+        later candidate can chain its warm start off this one (the greedy
+        synthesiser's round-N placements extend round-(N-1)'s, and the
+        nearest scored relative has the smallest diff).  Unlike the result
+        quarantine this is sound: snapshot states are line-independent
+        (bit-identical to a source-faithful recompile's), and the stored
+        per-block line signatures are the IR twin's, so classification
+        reuse — the one line-sensitive part — simply never triggers for a
+        source-faithful descendant (signature mismatch forces recompute).
+        """
+        if not snapshot_eligible(request):
+            raise ValueError(
+                "ephemeral runs require a speculative, unsharded request "
+                f"(got {request.describe()})"
+            )
+        self._requests += 1
+        with span("engine.run", kind=request.kind.value, ephemeral=True) as run_span:
+            warm_start, fallback = self._resolve_warm_start(request, program)
+            result, analysis = execute_retaining(
+                request, program, warm_start=warm_start
+            )
+            warm = self._note_warm_outcome(
+                request, analysis, warm_start is not None, fallback
+            )
+            if retain:
+                # compact=False: chaining snapshots skip the codec pass and
+                # carry their live states pre-decoded — the next candidate
+                # reads them back within milliseconds, and an encode per
+                # scored candidate would cost more than chaining saves.
+                self._snapshots.put(
+                    snapshot_from_analysis(
+                        request, program, analysis, result, compact=False
+                    )
+                )
+                self._snapshots_stored += 1
+            run_span.set(warm=warm)
+        return result
+
+    def ensure_snapshot(self, request: AnalysisRequest):
+        """Resolve ``request`` guaranteeing a retained snapshot afterwards.
+
+        Interactive loops call this on the *unpatched* program before
+        scoring edits against it: a plain cached :meth:`run` hit replays
+        the stored result without re-running the solver, which would
+        leave nothing to warm-start from.  Returns the result (the cached
+        copy when both the snapshot and the cached result already exist).
+        """
+        if not snapshot_eligible(request):
+            raise ValueError(
+                "snapshots require a speculative, unsharded request "
+                f"(got {request.describe()})"
+            )
+        key = request.result_key()
+        if key in self._snapshots:
+            cached = self._lookup_result(request)
+            if cached is not None:
+                return _copy_result(cached, from_cache=True)
+        self._requests += 1
+        with span("engine.run", kind=request.kind.value, seed=True):
+            program = self.compile(request)
+            result, analysis = execute_retaining(request, program)
+            self._store_result(request, result)
+            self._snapshots.put(
+                snapshot_from_analysis(request, program, analysis, result)
+            )
+            self._snapshots_stored += 1
         return _copy_result(result)
 
     def seed_program(self, request: AnalysisRequest, program: CompiledProgram) -> None:
@@ -197,6 +408,16 @@ class AnalysisEngine:
             batches=self._batches,
             parallel_batches=self._parallel_batches,
             store=store.stats.snapshot() if store is not None else None,
+            incremental=IncrementalStats(
+                enabled=self.incremental_enabled,
+                warm_hits=self._warm_hits,
+                cold_fallbacks=self._cold_fallbacks,
+                snapshots_stored=self._snapshots_stored,
+                seeded_slots=self._seeded_slots,
+                invalidated_blocks=self._invalidated_blocks,
+                snapshots=self._snapshots.stats,
+                retained=len(self._snapshots),
+            ),
         )
 
     def clear_caches(self) -> None:
@@ -204,6 +425,7 @@ class AnalysisEngine:
         cleared — surviving process restarts is its entire purpose."""
         self._compile_cache.clear()
         self._result_cache.clear()
+        self._snapshots.clear()
 
     # ------------------------------------------------------------------
     # Second-tier (persistent) result store

@@ -72,6 +72,13 @@ class AnalysisRequest:
     scenario_shards: int = 1
     shard_backend: str | None = field(default=None, compare=False)
     label: str | None = field(default=None, compare=False)
+    #: ``result_key()`` of a prior request whose retained snapshot should
+    #: warm-start this one (incremental re-analysis; see
+    #: :mod:`repro.engine.incremental`).  Purely an execution hint, like
+    #: ``shard_backend``: warm results are bit-identical to cold ones, so
+    #: the lineage handle never affects equality or the result key, and a
+    #: missing/evicted/incompatible snapshot silently means a cold run.
+    warm_from: str | None = field(default=None, compare=False)
 
     # ------------------------------------------------------------------
     # Constructors

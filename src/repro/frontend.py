@@ -45,6 +45,28 @@ class CompiledProgram:
     def entry_function(self) -> str:
         return self.cfg.name
 
+    def content_fingerprint(self) -> str:
+        """Content hash of the analysed entry CFG (see ``CFG.content_fingerprint``)."""
+        return self.cfg.content_fingerprint()
+
+    def layout_fingerprint(self) -> str:
+        """Content hash of the memory layout the analysis states embed.
+
+        Abstract states reference ``MemoryBlock(symbol, index)`` values and
+        set placement hashes symbol names, so retained states are only
+        reusable against a program whose layout matches exactly.
+        """
+        import hashlib
+
+        payload = (
+            self.layout.line_size,
+            tuple(
+                (name, obj.num_blocks)
+                for name, obj in sorted(self.layout.objects.items())
+            ),
+        )
+        return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
 
 def compile_source(
     source: str,

@@ -2,11 +2,131 @@
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.errors import CFGError
 from repro.ir.basicblock import BasicBlock
 from repro.ir.instructions import CondBranch, Jump, MemoryRef, Return, Terminator
+
+
+# ----------------------------------------------------------------------
+# Content fingerprints
+# ----------------------------------------------------------------------
+def _canonical(value: object) -> object:
+    """A structural, line-insensitive rendering of an IR value.
+
+    Source line numbers shift wholesale when an edit inserts or removes a
+    statement (the exact situation incremental re-analysis exists for), so
+    ``line`` fields are excluded everywhere.  ``__str__`` forms are *not*
+    used: they drop analysis-relevant detail (``CondBranch.__str__`` omits
+    ``cond_refs``, ``MemoryRef.__str__`` omits ``element_size``).
+    """
+    if isinstance(value, MemoryRef):
+        return (
+            "ref",
+            value.symbol,
+            value.is_write,
+            value.index_const,
+            value.index_secret,
+            value.element_size,
+        )
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        parts: list[object] = [type(value).__name__]
+        for fld in dataclasses.fields(value):
+            if fld.name == "line":
+                continue
+            parts.append(_canonical(getattr(value, fld.name)))
+        return tuple(parts)
+    if isinstance(value, (tuple, list)):
+        return tuple(_canonical(item) for item in value)
+    if value is None or isinstance(value, (str, int, bool)):
+        return value
+    return repr(value)
+
+
+def block_fingerprint(block: BasicBlock) -> str:
+    """A stable content hash of a block's instructions and terminator.
+
+    Two blocks with the same fingerprint have identical analysis semantics
+    (same accesses, same transfer, same branch structure) regardless of the
+    source lines they were lowered from.
+    """
+    payload = (
+        tuple(_canonical(instruction) for instruction in block.instructions),
+        _canonical(block.terminator),
+    )
+    digest = hashlib.sha256(repr(payload).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def block_line_signature(block: BasicBlock) -> str:
+    """A hash of the *source lines* a block's instructions carry.
+
+    :func:`block_fingerprint` is deliberately line-insensitive, which is
+    what incremental invalidation wants — but classifications embed the
+    lines of the :class:`~repro.ir.instructions.MemoryRef` they report, so
+    a retained classification is only reusable verbatim when the block's
+    lines match too (an edit that shifts lines without changing content
+    keeps the fingerprint but not this signature).
+    """
+    payload = (
+        tuple(instruction.line for instruction in block.instructions),
+        block.terminator.line if block.terminator is not None else None,
+    )
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CFGDiff:
+    """Block-level difference between two CFGs, matched by block name.
+
+    ``changed`` blocks exist in both CFGs with different content;
+    ``added``/``removed`` exist only in the new/old CFG; ``unchanged``
+    blocks are bit-identical.  ``touched`` is the union of everything that
+    differs — the invalidation frontier for incremental re-analysis.
+    """
+
+    changed: frozenset[str]
+    added: frozenset[str]
+    removed: frozenset[str]
+    unchanged: frozenset[str]
+
+    @property
+    def touched(self) -> frozenset[str]:
+        return self.changed | self.added | self.removed
+
+    @property
+    def is_identical(self) -> bool:
+        return not self.touched
+
+
+def diff_cfgs(old: "CFG | dict[str, str]", new: "CFG") -> CFGDiff:
+    """Map an edited CFG onto its predecessor.
+
+    ``old`` may be a live :class:`CFG` or a retained ``{name: fingerprint}``
+    summary (the form snapshots store, so the predecessor program need not
+    stay resident).  Correspondence is by block name: the lowering pipeline
+    derives names deterministically from source structure, so an edit that
+    perturbs one statement leaves every other block's name and content
+    intact.
+    """
+    old_fps = old if isinstance(old, dict) else old.block_fingerprints()
+    new_fps = new.block_fingerprints()
+    changed = frozenset(
+        name
+        for name, fp in new_fps.items()
+        if name in old_fps and old_fps[name] != fp
+    )
+    added = frozenset(name for name in new_fps if name not in old_fps)
+    removed = frozenset(name for name in old_fps if name not in new_fps)
+    unchanged = frozenset(
+        name
+        for name, fp in new_fps.items()
+        if old_fps.get(name) == fp
+    )
+    return CFGDiff(changed=changed, added=added, removed=removed, unchanged=unchanged)
 
 
 @dataclass(frozen=True)
@@ -42,6 +162,8 @@ class CFG:
         if block.name in self.blocks:
             raise CFGError(f"duplicate block {block.name!r} in {self.name!r}")
         self.blocks[block.name] = block
+        self._fingerprint_cache = None
+        self._line_signature_cache = None
         return block
 
     def block(self, name: str) -> BasicBlock:
@@ -151,6 +273,65 @@ class CFG:
     @property
     def instruction_count(self) -> int:
         return sum(block.instruction_count for block in self.blocks.values())
+
+    # ------------------------------------------------------------------
+    # Content fingerprints
+    # ------------------------------------------------------------------
+    def attach_content_caches(
+        self, fingerprints: dict[str, str], line_signatures: dict[str, str]
+    ) -> None:
+        """Install precomputed per-block fingerprint/line-signature maps.
+
+        Trusted producers that *know* the maps match the current blocks —
+        the snapshot builder after a full computation, and the IR-level
+        fence patcher, which derives the edited graph's maps from its
+        predecessor's by re-fingerprinting only the blocks it touched —
+        attach them so the hot incremental paths (``diff_cfgs``, the vcfg
+        memo key, classification reuse) stop paying a full per-instruction
+        canonicalisation pass per candidate.  The caches are semantically
+        transparent; mutating a block *in place* after attaching is
+        unsupported (``add_block`` clears them, in-place instruction edits
+        cannot be seen — build a new CFG instead, as the lowering pipeline
+        and the patcher already do).
+        """
+        self._fingerprint_cache = dict(fingerprints)
+        self._line_signature_cache = dict(line_signatures)
+
+    def block_fingerprints(self) -> dict[str, str]:
+        """Per-block content fingerprints, in block-dict order."""
+        cached = getattr(self, "_fingerprint_cache", None)
+        if cached is not None:
+            return dict(cached)
+        return {name: block_fingerprint(block) for name, block in self.blocks.items()}
+
+    def block_line_signatures(self) -> dict[str, str]:
+        """Per-block source-line signatures (see :func:`block_line_signature`)."""
+        cached = getattr(self, "_line_signature_cache", None)
+        if cached is not None:
+            return dict(cached)
+        return {
+            name: block_line_signature(block) for name, block in self.blocks.items()
+        }
+
+    def content_fingerprint(self) -> str:
+        """A stable content hash of the whole function.
+
+        Includes block *order* (scenario colors are assigned in
+        ``conditional_blocks()`` order, which follows the block dict) so two
+        CFGs with equal fingerprints produce identical vcfgs and identical
+        analysis results.  Computed fresh on every call unless a trusted
+        producer attached content caches (see
+        :meth:`attach_content_caches`): content-keyed memos must never
+        alias a mutated graph to its old key.
+        """
+        payload = (
+            self.name,
+            self.entry,
+            tuple(self.params),
+            tuple(self.block_fingerprints().items()),
+        )
+        digest = hashlib.sha256(repr(payload).encode("utf-8"))
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------
     # Validation

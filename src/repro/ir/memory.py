@@ -38,6 +38,32 @@ class MemoryBlock:
     symbol: str
     index: int = 0
 
+    # Blocks are the key type of every abstract cache state's must/may
+    # maps; the analysis hashes and compares them millions of times per
+    # fixpoint.  The handwritten dunders below are semantically identical
+    # to the dataclass-generated ones but skip the per-call field-tuple
+    # allocation; the hash is precomputed once at construction (blocks
+    # are built far more rarely than they are looked up).  Str hashes are
+    # per-process (PYTHONHASHSEED), so ``__reduce__`` rebuilds from the
+    # fields and never ships the cached value across a process boundary.
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_hash", hash(self.symbol) ^ (self.index * -0x61C88647)
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is MemoryBlock:
+            return self.index == other.index and self.symbol == other.symbol
+        return NotImplemented
+
+    def __reduce__(self):
+        return (MemoryBlock, (self.symbol, self.index))
+
     @property
     def is_placeholder(self) -> bool:
         return self.index < 0
@@ -123,6 +149,7 @@ class MemoryLayout:
         return layout
 
     def _add_symbol(self, symbol: Symbol) -> None:
+        self._resolve_cache = None
         if not symbol.in_memory:
             return
         if symbol.name in self.objects:
@@ -169,7 +196,26 @@ class MemoryLayout:
     # Access resolution
     # ------------------------------------------------------------------
     def resolve(self, ref: MemoryRef) -> BlockAccess:
-        """Resolve a :class:`MemoryRef` to the blocks it may touch."""
+        """Resolve a :class:`MemoryRef` to the blocks it may touch.
+
+        Memoised per ref: resolution is pure given the layout, and every
+        :class:`~repro.analysis.transfer.AccessTable` built against this
+        layout re-resolves the same refs (the incremental mitigation loop
+        builds one table per scored candidate).  The shared
+        :class:`BlockAccess` values are immutable.
+        """
+        cache = getattr(self, "_resolve_cache", None)
+        if cache is None:
+            cache = {}
+            self._resolve_cache = cache
+        cached = cache.get(ref)
+        if cached is not None:
+            return cached
+        access = self._resolve_uncached(ref)
+        cache[ref] = access
+        return access
+
+    def _resolve_uncached(self, ref: MemoryRef) -> BlockAccess:
         obj = self.object(ref.symbol)
         all_blocks = tuple(obj.blocks())
         if ref.index_secret:

@@ -91,6 +91,15 @@ def hoist_points(
     earlier, truncating more of each window — and map it to a ``before``
     point at the line of its first line-carrying instruction.  Candidates
     covering more scenarios come first.
+
+    ``speculation`` must be the *same resolved config the evaluating
+    analysis runs under* (``request.resolved_speculation``): the windows
+    candidates are placed against depend on the speculation depth and
+    merge strategy, and a mismatch silently produces candidates for a
+    different analysis than the one scoring them.  The None default
+    (paper config) exists for standalone exploration only; the vcfg comes
+    from the shared content-fingerprint memo, so this costs nothing when
+    the synthesiser has already analysed the program under that config.
     """
     cfg = program.cfg
     vcfg = build_vcfg(cfg, speculation or SpeculationConfig.paper_default())

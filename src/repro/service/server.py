@@ -91,8 +91,13 @@ class ReproServer:
         max_workers: int = 2,
         batch_size: int = 8,
         slow_job_seconds: float | None = None,
+        incremental: bool | None = None,
     ):
-        self.engine = engine if engine is not None else AnalysisEngine()
+        # ``incremental=None`` defers to REPRO_INCREMENTAL per run, so a
+        # daemon started without the flag still follows the environment.
+        self.engine = (
+            engine if engine is not None else AnalysisEngine(incremental=incremental)
+        )
         if store_dir is not None and self.engine.result_store is None:
             self.engine.attach_result_store(ResultStore(store_dir))
         self.scheduler = JobScheduler(
@@ -382,6 +387,7 @@ class ReproServer:
                 None if engine_stats.store is None else vars(engine_stats.store)
             ),
             "scheduler": vars(self.scheduler.stats),
+            "incremental": engine_stats.incremental.to_wire(),
             "slow_jobs": self.scheduler.slow_jobs(),
             # Process-wide registry: pool.*, store.*, fixpoint.*, codec.*
             # counters from every subsystem that ran in this daemon.
@@ -418,6 +424,7 @@ class ReproServer:
                 "max_workers": self.scheduler.max_workers,
                 "slow_job_seconds": self.scheduler.slow_job_seconds,
                 "scheduler": vars(stats),
+                "incremental": self.engine.stats.incremental.to_wire(),
                 "slow_jobs": self.scheduler.slow_jobs(),
                 "jobs": self.scheduler.recent_jobs(limit),
                 # Only the scheduler's own latency/depth instruments:

@@ -109,6 +109,7 @@ def request_to_wire(request: AnalysisRequest) -> dict:
         "scenario_shards": request.scenario_shards,
         "shard_backend": request.shard_backend,
         "label": request.label,
+        "warm_from": request.warm_from,
     }
 
 
@@ -128,6 +129,15 @@ def request_from_wire(data: Mapping[str, Any]) -> AnalysisRequest:
         raise WireError(
             f"unknown shard backend {shard_backend!r} "
             f"(expected one of {SHARD_BACKENDS})"
+        )
+    # Pre-incremental clients simply omit the lineage handle; a handle the
+    # server has no snapshot for silently degrades to a cold run, so no
+    # existence check belongs here — only a shape check.
+    warm_from = data.get("warm_from")
+    if warm_from is not None and not isinstance(warm_from, str):
+        raise WireError(
+            f"request 'warm_from' must be a string result key or null, "
+            f"got {type(warm_from).__name__}"
         )
     try:
         return AnalysisRequest(
@@ -155,6 +165,7 @@ def request_from_wire(data: Mapping[str, Any]) -> AnalysisRequest:
             scenario_shards=int(data.get("scenario_shards", 1)),
             shard_backend=shard_backend,
             label=data.get("label"),
+            warm_from=warm_from,
         )
     except (KeyError, TypeError, ValueError) as error:
         raise WireError(f"malformed request payload: {error}") from error

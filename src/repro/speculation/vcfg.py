@@ -30,14 +30,13 @@ convergence block is ``vn_stop``.
 from __future__ import annotations
 
 import heapq
-import threading
-import weakref
 from dataclasses import dataclass, field
 
-from repro.ir.cfg import CFG
+from repro.engine.cache import LRUCache
+from repro.ir.cfg import CFG, diff_cfgs
 from repro.ir.dominators import postdominator_tree
 from repro.ir.instructions import CondBranch, Fence, MemoryRef
-from repro.obs import span
+from repro.obs import metrics, span
 from repro.speculation.config import SpeculationConfig
 
 
@@ -183,20 +182,20 @@ class VirtualCFG:
 # engine construction over an already-seen (cfg, config) pair — repeat
 # requests against a cached compile, the per-candidate engines of the
 # mitigation searcher, differential benchmark runs — reuses the same
-# frozen scenario objects.  CFG is an eq-comparing dataclass (unhashable
-# and too costly to hash by content anyway), so entries are keyed by
-# object identity and evicted by a weakref finalizer when the CFG is
-# collected — which also rules out id-reuse aliasing: a recycled address
-# can only appear after the old object's finalizer has purged its
-# entries.
-_vcfg_memo: dict[tuple[int, SpeculationConfig], tuple[SpeculationScenario, ...]] = {}
-_vcfg_memo_lock = threading.RLock()
+# frozen scenario objects.  Entries are keyed by *content fingerprint*
+# rather than the old ``id(cfg)`` scheme, so re-parsing identical source
+# (the common service pattern: CI resubmitting the same program, the
+# mitigation loop re-emitting candidates) hits even though each parse
+# allocates a fresh CFG object.  The content key also removes the need
+# for weakref eviction — a bounded LRU caps residency instead, and a
+# mutated CFG simply hashes to a different key.
+_VCFG_MEMO_SIZE = 128
+_vcfg_memo: LRUCache = LRUCache(maxsize=_VCFG_MEMO_SIZE)
 
 
-def _evict_vcfg_memo(cfg_id: int) -> None:
-    with _vcfg_memo_lock:
-        for key in [key for key in _vcfg_memo if key[0] == cfg_id]:
-            del _vcfg_memo[key]
+def vcfg_memo_stats():
+    """Hit/miss/eviction counters of the scenario memo (for stats surfaces)."""
+    return _vcfg_memo.stats.snapshot()
 
 
 def _compute_scenarios(
@@ -231,27 +230,174 @@ def _compute_scenarios(
     return tuple(scenarios)
 
 
-def build_vcfg(cfg: CFG, config: SpeculationConfig) -> VirtualCFG:
+def build_vcfg(
+    cfg: CFG, config: SpeculationConfig, *, fingerprint: str | None = None
+) -> VirtualCFG:
     """Construct the virtual CFG (all speculation scenarios) for ``cfg``.
 
-    Memoised per (cfg identity, config): repeat calls share the frozen
+    Memoised per (content fingerprint, config): repeat calls — including
+    calls against a *re-parsed but identical* CFG — share the frozen
     :class:`SpeculationScenario` objects but always get a **fresh**
     :class:`VirtualCFG` wrapper with a fresh ``scenarios`` list, so
     callers that mutate the list (tests, the pre-PR benchmark reference)
-    cannot corrupt each other or the memo.
+    cannot corrupt each other or the memo.  Pass ``fingerprint`` when the
+    caller has already computed ``cfg.content_fingerprint()``.
     """
-    key = (id(cfg), config)
-    with _vcfg_memo_lock:
-        scenarios = _vcfg_memo.get(key)
+    key = (fingerprint or cfg.content_fingerprint(), config)
+    scenarios = _vcfg_memo.get(key)
     if scenarios is None:
         with span("vcfg", program=cfg.name) as vcfg_span:
             scenarios = _compute_scenarios(cfg, config)
             vcfg_span.set(scenarios=len(scenarios))
-        with _vcfg_memo_lock:
-            if key not in _vcfg_memo:
-                _vcfg_memo[key] = scenarios
-                weakref.finalize(cfg, _evict_vcfg_memo, id(cfg))
+        _vcfg_memo.put(key, scenarios)
+    else:
+        # The phase still happened (served from the content-keyed memo);
+        # traces that assert pipeline coverage rely on seeing it.
+        with span("vcfg", program=cfg.name) as vcfg_span:
+            vcfg_span.set(scenarios=len(scenarios), cached=True)
     return VirtualCFG(cfg=cfg, config=config, scenarios=list(scenarios))
+
+
+@dataclass(frozen=True)
+class VCFGBaseline:
+    """What an incremental rebuild needs from a predecessor program.
+
+    Holds fingerprints and frozen scenarios only — never the old CFG
+    itself, so retaining a baseline does not keep a whole program alive.
+    """
+
+    block_fingerprints: dict[str, str]
+    scenarios: tuple[SpeculationScenario, ...]
+
+
+def _window_reusable(
+    cfg: CFG, touched: frozenset[str], start: str, window: SpeculativeWindow
+) -> bool:
+    """May a baseline window be reused verbatim against the edited ``cfg``?
+
+    Sound iff the edit cannot perturb the window's Dijkstra: distances and
+    allowances only flow through the window's member blocks, and membership
+    can only grow/shrink via a member or a block one edge beyond one (the
+    depth/fence frontier).  So the window is reusable when the touched set
+    is disjoint from ``{start} ∪ allowed ∪ successors(allowed)``.  The
+    start block is included explicitly: a fence at its first instruction
+    yields an *empty* window whose reusability still hinges on the start.
+    """
+    if start in touched:
+        return False
+    for name in window.allowed:
+        if name in touched:
+            return False
+    for name in window.allowed:
+        # Members are untouched, hence present in the new CFG with their
+        # old terminators — successors are well-defined and unchanged.
+        for successor in cfg.successors(name):
+            if successor in touched:
+                return False
+    return True
+
+
+def build_vcfg_incremental(
+    cfg: CFG,
+    config: SpeculationConfig,
+    baseline: VCFGBaseline,
+    *,
+    fingerprint: str | None = None,
+) -> tuple[VirtualCFG, dict[str, int]]:
+    """Rebuild the virtual CFG for an edited program, reusing what stands.
+
+    Scenario *structure* (colors, targets, convergence) is recomputed from
+    the new CFG — it is cheap and depends on global block order and the
+    postdominator tree.  The expensive per-scenario window searches are
+    reused from ``baseline`` whenever the edit provably cannot have
+    perturbed them (see :func:`_window_reusable`); only windows
+    intersecting the edit are re-run.  The result is bit-identical to a
+    cold :func:`build_vcfg` and is inserted into the same memo.
+
+    Returns the vcfg plus reuse counters for observability.
+    """
+    key = (fingerprint or cfg.content_fingerprint(), config)
+    memoised = _vcfg_memo.get(key)
+    if memoised is not None:
+        stats = {"windows_reused": 0, "windows_recomputed": 0, "memo_hit": 1}
+        return VirtualCFG(cfg=cfg, config=config, scenarios=list(memoised)), stats
+
+    diff = diff_cfgs(baseline.block_fingerprints, cfg)
+    touched = diff.touched
+    old_windows: dict[tuple[str, bool], tuple[SpeculativeWindow, SpeculativeWindow]] = {
+        (s.branch_block, s.mispredicted_taken): (s.window_miss, s.window_hit)
+        for s in baseline.scenarios
+    }
+
+    reused = 0
+    recomputed = 0
+
+    def window_pair(branch_block: str, taken: bool, wrong: str):
+        nonlocal reused, recomputed
+        pair = old_windows.get((branch_block, taken))
+        windows = []
+        for index, depth in enumerate((config.depth_miss, config.depth_hit)):
+            old = pair[index] if pair is not None else None
+            if (
+                old is not None
+                and old.depth == depth
+                and _window_reusable(cfg, touched, wrong, old)
+            ):
+                windows.append(old)
+                reused += 1
+            else:
+                windows.append(compute_window(cfg, wrong, depth))
+                recomputed += 1
+        return windows[0], windows[1]
+
+    with span("vcfg.incremental", program=cfg.name) as vcfg_span:
+        ipdom = postdominator_tree(cfg)
+        scenarios: list[SpeculationScenario] = []
+        color = 0
+        for branch_block in cfg.conditional_blocks():
+            terminator = cfg.block(branch_block).terminator
+            assert isinstance(terminator, CondBranch)
+            if terminator.true_target == terminator.false_target:
+                continue
+            convergence = ipdom.get(branch_block)
+            for mispredicted_taken in (True, False):
+                wrong = (
+                    terminator.true_target
+                    if mispredicted_taken
+                    else terminator.false_target
+                )
+                correct = (
+                    terminator.false_target
+                    if mispredicted_taken
+                    else terminator.true_target
+                )
+                window_miss, window_hit = window_pair(
+                    branch_block, mispredicted_taken, wrong
+                )
+                scenarios.append(
+                    SpeculationScenario(
+                        color=color,
+                        branch_block=branch_block,
+                        mispredicted_taken=mispredicted_taken,
+                        wrong_target=wrong,
+                        correct_target=correct,
+                        cond_refs=terminator.cond_refs,
+                        window_miss=window_miss,
+                        window_hit=window_hit,
+                        convergence_block=convergence,
+                    )
+                )
+                color += 1
+        frozen = tuple(scenarios)
+        vcfg_span.set(
+            scenarios=len(frozen), windows_reused=reused, windows_recomputed=recomputed
+        )
+    _vcfg_memo.put(key, frozen)
+    registry = metrics()
+    registry.counter("incremental.windows_reused").inc(reused)
+    registry.counter("incremental.windows_recomputed").inc(recomputed)
+    stats = {"windows_reused": reused, "windows_recomputed": recomputed, "memo_hit": 0}
+    return VirtualCFG(cfg=cfg, config=config, scenarios=list(frozen)), stats
 
 
 def first_fence_index(cfg: CFG, block: str) -> int | None:

@@ -163,9 +163,10 @@ class TestCompactness:
 
     def test_state_map_much_smaller_than_pickle(self):
         """The shard-delta shape (many states sharing few symbols) is the
-        codec's raison d'être; pickle memoises repeated strings too, so
-        the map-level win is smaller than the per-state one but must
-        still at least halve the payload."""
+        codec's raison d'être; pickle memoises repeated strings too (and
+        :class:`MemoryBlock`'s field-only ``__reduce__`` keeps its pickle
+        form tight), so the map-level win is smaller than the per-state
+        one but must still cut the payload by well over a third."""
         program = compile_source(branchy_kernel_source(8))
         result = SpeculativeCacheAnalysis(
             program,
@@ -175,7 +176,7 @@ class TestCompactness:
         states = dict(result.entry_states)
         encoded = len(encode_state_map(states))
         pickled = len(pickle.dumps(states, protocol=pickle.HIGHEST_PROTOCOL))
-        assert encoded * 2 <= pickled, (encoded, pickled)
+        assert encoded * 8 <= pickled * 5, (encoded, pickled)
 
 
 class TestRejection:
