@@ -270,6 +270,7 @@ class SpeculativeCacheAnalysis:
         shard_threads: bool = False,
         shard_backend: str | None = None,
         warm_start: WarmStartData | None = None,
+        prune_scenarios: bool = False,
     ):
         if mode not in ("sparse", "dense"):
             raise ValueError(f"unknown engine mode {mode!r}")
@@ -309,6 +310,41 @@ class SpeculativeCacheAnalysis:
         self.table = AccessTable(self.cfg, self.layout)
         self.chooser = DepthChooser(self.speculation, self.layout)
         self.secret_symbols = set(program.info.secret_symbols)
+        # ------------------------------------------------------------------
+        # Taint-driven scenario pruning.  The policy (see
+        # repro.analysis.taint.classify_scenarios) only drops colors whose
+        # speculative windows contain no access site at all: for those the
+        # window transfer is the identity, every rollback/conversion
+        # delivery joins a value already below its target, and the window
+        # classification walk emits nothing — so verdicts and
+        # classifications are bit-identical to the unpruned run, only the
+        # per-color slot bookkeeping disappears.  The reported structural
+        # counters (speculative branches, virtual edges, depth-bounding
+        # stats) keep describing the *full* scenario set, so pruned and
+        # unpruned reports stay comparable.
+        # ------------------------------------------------------------------
+        self.prune_scenarios = bool(prune_scenarios)
+        self.pruned_scenarios: list[SpeculationScenario] = []
+        self.taint_free_colors: frozenset[int] = frozenset()
+        self._all_scenarios: list[SpeculationScenario] | None = None
+        if self.prune_scenarios and self.vcfg.scenarios:
+            # Imported lazily: the taint pass lives beside the analyses
+            # and is only paid for when the knob is on.
+            from repro.analysis.taint import TaintAnalysis, classify_scenarios
+            from repro.speculation.vcfg import prune_vcfg
+
+            taint = TaintAnalysis(
+                self.cfg, self.layout, program.info.secret_symbols
+            ).solve()
+            prunable, taint_free, _ = classify_scenarios(
+                self.vcfg, self.table, taint
+            )
+            self.taint_free_colors = taint_free
+            if prunable:
+                self._all_scenarios = list(self.vcfg.scenarios)
+                self.pruned_scenarios = prune_vcfg(
+                    self.vcfg, lambda scenario: scenario.color not in prunable
+                )
         self._use_shadow = self.speculation.use_shadow_state
         #: Dirty-slot re-transfers performed by the sparse scheduler
         #: (telemetry only; published to the metrics registry by run()).
@@ -420,6 +456,20 @@ class SpeculativeCacheAnalysis:
         registry.counter("fixpoint.pops").inc(fixpoint.iterations)
         registry.counter("fixpoint.widenings").inc(fixpoint.widenings)
         registry.counter("fixpoint.slot_retransfers").inc(self._slot_transfers)
+        if self.prune_scenarios:
+            registry.counter("prune.scenarios_pruned").inc(len(self.pruned_scenarios))
+            registry.counter("prune.scenarios_retained").inc(len(self.vcfg.scenarios))
+            if self.taint_free_colors:
+                registry.counter("prune.scenarios_taint_free").inc(
+                    len(self.taint_free_colors)
+                )
+        # When colors were pruned, the structural counters still describe
+        # the full scenario set (pruned windows contribute their bm edges
+        # like any never-shortened scenario), keeping reports comparable
+        # across the knob.
+        reporting_scenarios = (
+            self._all_scenarios if self._all_scenarios is not None else self.vcfg.scenarios
+        )
         result = CacheAnalysisResult(
             program_name=self.cfg.name,
             cache_config=self.cache_config,
@@ -428,11 +478,16 @@ class SpeculativeCacheAnalysis:
             iterations=fixpoint.iterations,
             widenings=fixpoint.widenings,
             analysis_time=fixpoint_span.duration,
-            num_speculative_branches=self.vcfg.num_speculative_branches,
-            num_virtual_edges=self.vcfg.num_virtual_edges,
+            num_speculative_branches=len(
+                {scenario.branch_block for scenario in reporting_scenarios}
+            ),
+            num_virtual_edges=sum(
+                scenario.window_miss.num_instructions
+                for scenario in reporting_scenarios
+            ),
             shard_backend_used=self.shard_backend_used,
         )
-        stats = self.chooser.stats(self.vcfg.scenarios)
+        stats = self.chooser.stats(reporting_scenarios)
         result.num_virtual_edges_active = stats.virtual_edges_active
         publish_progress(
             "classify", program=self.cfg.name, iterations=fixpoint.iterations

@@ -28,6 +28,7 @@ def analyze_speculative(
     scenario_shards: int = 1,
     shard_threads: bool = False,
     shard_backend: str | None = None,
+    prune_scenarios: bool = False,
 ) -> CacheAnalysisResult:
     """Run the speculation-sound must-hit analysis on ``program``.
 
@@ -42,6 +43,11 @@ def analyze_speculative(
     construction; see the backend section of
     :mod:`repro.analysis.multicolor`).  None defers to the legacy
     ``shard_threads`` flag, then ``REPRO_SHARD_BACKEND``, then serial.
+
+    ``prune_scenarios`` runs the secret-taint pre-analysis and skips the
+    speculation scenarios it proves irrelevant (access-free windows) —
+    verdicts and classifications are bit-identical to the unpruned run;
+    only iteration counts and wall-clock change.
     """
     config = speculation or SpeculationConfig.paper_default()
     if merge_strategy is not None:
@@ -72,5 +78,6 @@ def analyze_speculative(
         scenario_shards=scenario_shards,
         shard_threads=shard_threads,
         shard_backend=shard_backend,
+        prune_scenarios=prune_scenarios,
     )
     return engine.run()

@@ -125,6 +125,24 @@ def format_leak_table(rows: Sequence[LeakComparison], title: str = "Table 7") ->
     return _render_table(title, table_rows)
 
 
+def format_blame_paths(name: str, blames: dict) -> str:
+    """Render leak blame paths as an indented text block.
+
+    ``blames`` maps ``(block, instruction_index)`` to a list of
+    :class:`repro.analysis.taint.BlameStep` values (or None when the
+    taint pass has no path — rendered as such rather than hidden, since
+    a pathless leak site is a signal worth surfacing).
+    """
+    lines = [f"{name}: {len(blames)} leaking access site(s)"]
+    for (block, instruction_index), path in sorted(blames.items()):
+        lines.append(f"  {block}[{instruction_index}]:")
+        if not path:
+            lines.append("    (no taint path recorded)")
+            continue
+        lines.extend(f"    {step.render()}" for step in path)
+    return "\n".join(lines)
+
+
 def format_mitigation_table(results: Sequence, title: str = "Mitigation synthesis") -> str:
     """Render mitigation-synthesis rows (naive vs optimized placement).
 

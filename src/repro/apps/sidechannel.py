@@ -48,6 +48,31 @@ class LeakSite:
         )
 
 
+def explain_leaks(program: CompiledProgram, sites) -> dict:
+    """Blame paths for leak sites: ``{(block, instruction_index): [BlameStep]}``.
+
+    ``sites`` is an iterable of :class:`LeakSite` values or bare
+    ``(block, instruction_index)`` pairs.  Each path is the shortest
+    recorded def-use chain from a secret source to the leaking access
+    (see :meth:`repro.analysis.taint.TaintResult.blame_path`); a site the
+    taint pass cannot reach maps to None — that would indicate the leak
+    detector and the taint pass disagree, which the soundness tests rule
+    out for secret-indexed accesses.
+    """
+    from repro.analysis.taint import analyze_taint
+
+    taint = analyze_taint(program)
+    blames: dict = {}
+    for site in sites:
+        if isinstance(site, LeakSite):
+            key = (site.block, site.instruction_index)
+        else:
+            block, instruction_index = site
+            key = (block, instruction_index)
+        blames[key] = taint.blame_path(*key)
+    return blames
+
+
 @dataclass
 class LeakReport:
     """Outcome of leak detection with one analysis."""

@@ -617,3 +617,62 @@ def branchy_kernel_source(num_branches: int, line_size: int = 64) -> str:
         + "\n".join(body)
         + "\n  return 0;\n}\n"
     )
+
+
+def taint_sparse_kernel_source(
+    num_branches: int, num_lines: int = 64, line_size: int = 64
+) -> str:
+    """``num_branches`` access-free speculative diamonds plus one leaky tail.
+
+    Each diamond branches on a register variable and its arm performs
+    register-only arithmetic, so the speculative windows of its two
+    scenarios are long (they run through the following diamonds up to
+    the depth bound or the pre-tail ``fence``) but contain **no memory
+    access** — the taint-driven pruner drops all ``2 * num_branches`` of
+    them while the cold solver pays full per-scenario slot bookkeeping
+    for each.  The tail is the Figure-2 shape (preload, an
+    uncached-condition branch, a secret-indexed access), so exactly two
+    scenarios stay relevant and the program still reports its
+    speculation-only leak.  The result is a kernel whose *prunable
+    fraction* approaches 1 as ``num_branches`` grows while the verdict
+    stays fixed: the workload that separates a solver paying
+    per-scenario slot bookkeeping from one that prunes first.
+
+    Used by ``benchmarks/bench_taint_pruning.py`` and the pruning
+    differential tests; not part of any paper table.
+    """
+    if num_branches < 1:
+        raise ValueError("num_branches must be positive")
+    ph_lines = max(2, num_lines - 2)
+    ph_bytes = ph_lines * line_size
+    decls = [
+        f"char ph[{ph_bytes}];",
+        f"char l1[{line_size}];",
+        f"char l2[{line_size}];",
+        "char q;",
+        "reg int p;",
+        "secret reg char k;",
+    ]
+    body = []
+    for i in range(num_branches):
+        body.append(f"  if (p > {i}) {{ p = p + {i + 1}; }}")
+    # One fence keeps every sparse window out of the access-bearing tail.
+    body.append("  fence;")
+    body += [
+        "  reg int i;",
+        f"  for (i = 0; i < {ph_bytes}; i += {line_size}) {{",
+        "    ph[i];",
+        "  }",
+        "  if (q == 0) {",
+        "    l1[0];",
+        "  } else {",
+        "    l2[0];",
+        "  }",
+        "  ph[k];",
+    ]
+    return (
+        "\n".join(decls)
+        + "\n\nint main() {\n"
+        + "\n".join(body)
+        + "\n  return 0;\n}\n"
+    )

@@ -70,6 +70,13 @@ class AnalysisRequest:
     inline: bool = True
     max_unroll_iterations: int = 4096
     scenario_shards: int = 1
+    #: Run the secret-taint pre-analysis and drop speculation scenarios
+    #: whose windows are provably access-free (see
+    #: :mod:`repro.analysis.taint`).  Classifications and verdicts are
+    #: bit-identical to the unpruned run, but reported iteration counts
+    #: are not — so like ``scenario_shards`` the knob participates in the
+    #: result key (only when on, keeping historical keys warm).
+    prune_scenarios: bool = False
     shard_backend: str | None = field(default=None, compare=False)
     label: str | None = field(default=None, compare=False)
     #: ``result_key()`` of a prior request whose retained snapshot should
@@ -172,6 +179,11 @@ class AnalysisRequest:
                 # match a direct execution of the same request.
                 if self.scenario_shards >= 2:
                     parts.append(("scenario_shards", self.scenario_shards))
+                # Same reasoning for pruning: classifications are
+                # identical, iteration counts are not, and fingerprints
+                # include iterations.
+                if self.prune_scenarios:
+                    parts.append(("prune_scenarios", True))
             key = _digest("result", *parts)
             object.__setattr__(self, "_result_key", key)
         return key

@@ -49,6 +49,19 @@ class CFGError(ReproError):
     """Raised for malformed control-flow graphs."""
 
 
+class VerificationError(ReproError):
+    """Raised when the IR verifier finds lint-level defects and the caller
+    asked for them to be fatal (debug-mode verification before analyses).
+
+    ``findings`` carries the structured :class:`repro.ir.verify.LintFinding`
+    values behind the rendered message.
+    """
+
+    def __init__(self, message: str, findings: tuple = ()):
+        self.findings = tuple(findings)
+        super().__init__(message)
+
+
 class AnalysisError(ReproError):
     """Raised when an analysis is configured or driven incorrectly."""
 

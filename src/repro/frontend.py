@@ -16,6 +16,7 @@ from repro.ir.inline import inline_calls
 from repro.ir.lowering import lower_program
 from repro.ir.memory import MemoryLayout
 from repro.ir.unroll import UnrollStats, unroll_fixed_loops
+from repro.ir.verify import assert_valid_ir, debug_verify_enabled
 from repro.lang.parser import parse_program
 from repro.lang.typecheck import ProgramInfo, check_program
 from repro.obs import span
@@ -116,7 +117,7 @@ def compile_source(
                 entry_cfg = cfgs[entry_name]
         layout = MemoryLayout.from_program(info, line_size=line_size)
         frontend_span.set(entry=entry_name, blocks=len(entry_cfg.blocks))
-    return CompiledProgram(
+    compiled = CompiledProgram(
         source=source,
         info=info,
         cfgs=cfgs,
@@ -127,6 +128,13 @@ def compile_source(
         inline=inline,
         max_unroll_iterations=max_unroll_iterations,
     )
+    if debug_verify_enabled():
+        # Debug-mode gate (REPRO_DEBUG_VERIFY): every compiled program is
+        # linted before any analysis can consume it, so pipeline bugs fail
+        # here with structured findings instead of corrupting a fixpoint.
+        with span("verify"):
+            assert_valid_ir(compiled)
+    return compiled
 
 
 def _pick_entry(entry: str | None, cfgs: dict[str, CFG]) -> str:

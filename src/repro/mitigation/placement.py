@@ -64,11 +64,37 @@ def placement_cycles(
     )
 
 
-def surviving_branch_points(program: CompiledProgram) -> list[FencePoint]:
+def _resolve_tainted_branches(program: CompiledProgram, tainted_branches):
+    """The taint-relevant branch set for candidate ranking: the passed-in
+    set when the caller already solved taint, else a fresh solve.  Pass
+    ``frozenset()`` to disable ranking outright."""
+    if tainted_branches is not None:
+        return frozenset(tainted_branches)
+    from repro.analysis.taint import tainted_branch_blocks
+
+    return tainted_branch_blocks(program)
+
+
+def surviving_branch_points(
+    program: CompiledProgram, tainted_branches=None
+) -> list[FencePoint]:
     """Arm points of branches that survive compilation as conditional
-    branches (deterministic order: by line, taken before fallthrough)."""
+    branches.
+
+    Deterministic order, taint-relevant branches first: a branch whose
+    speculative windows can reach a taint-reachable access (see
+    :func:`repro.analysis.taint.tainted_branch_blocks`) is where a fence
+    can actually close a leak, so the greedy synthesiser scores those
+    candidates before the rest.  This is a pure *ordering* refinement —
+    the candidate set is unchanged, and within each taint class the
+    historical (line, taken-before-fallthrough) order is preserved.
+    ``tainted_branches`` accepts a precomputed set so one taint solve can
+    serve every candidate family.
+    """
     cfg = program.cfg
+    tainted = _resolve_tainted_branches(program, tainted_branches)
     points: set[FencePoint] = set()
+    tainted_lines: set[int] = set()
     for name in cfg.conditional_blocks():
         terminator = cfg.block(name).terminator
         assert isinstance(terminator, CondBranch)
@@ -76,11 +102,18 @@ def surviving_branch_points(program: CompiledProgram) -> list[FencePoint]:
             continue
         points.add(FencePoint("taken", terminator.line))
         points.add(FencePoint("fallthrough", terminator.line))
-    return sorted(points, key=lambda p: (p.line, p.kind != "taken"))
+        if name in tainted:
+            tainted_lines.add(terminator.line)
+    return sorted(
+        points,
+        key=lambda p: (p.line not in tainted_lines, p.line, p.kind != "taken"),
+    )
 
 
 def hoist_points(
-    program: CompiledProgram, speculation: SpeculationConfig | None = None
+    program: CompiledProgram,
+    speculation: SpeculationConfig | None = None,
+    tainted_branches=None,
 ) -> list[FencePoint]:
     """Dominator-guided hoist candidates: source points inside blocks that
     several speculation windows share.
@@ -102,11 +135,15 @@ def hoist_points(
     the synthesiser has already analysed the program under that config.
     """
     cfg = program.cfg
+    tainted = _resolve_tainted_branches(program, tainted_branches)
     vcfg = build_vcfg(cfg, speculation or SpeculationConfig.paper_default())
     coverage: dict[str, set[int]] = {}
+    tainted_cover: dict[str, bool] = {}
     for scenario in vcfg.scenarios:
+        relevant = scenario.branch_block in tainted
         for block in scenario.window_miss.allowed:
             coverage.setdefault(block, set()).add(scenario.color)
+            tainted_cover[block] = tainted_cover.get(block, False) or relevant
     shared = {block for block, colors in coverage.items() if len(colors) >= 2}
     if not shared:
         return []
@@ -126,7 +163,10 @@ def hoist_points(
                 best = candidate
         return best
 
-    ranked: list[tuple[int, int, FencePoint]] = []
+    # Taint-relevant hoists first (a window that can reach a tainted
+    # access is where truncation can close a leak), then widest coverage,
+    # then source order — the historical key, now one rank down.
+    ranked: list[tuple[bool, int, int, FencePoint]] = []
     seen: set[FencePoint] = set()
     for block in shared:
         target = hoisted(block)
@@ -137,9 +177,11 @@ def hoist_points(
         if point in seen:
             continue
         seen.add(point)
-        ranked.append((-len(coverage[target]), line, point))
+        ranked.append(
+            (not tainted_cover.get(target, False), -len(coverage[target]), line, point)
+        )
     ranked.sort()
-    return [point for _, _, point in ranked]
+    return [point for _, _, _, point in ranked]
 
 
 def _first_line(cfg: CFG, block: str) -> int | None:

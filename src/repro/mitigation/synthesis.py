@@ -374,11 +374,22 @@ def _candidate_groups(program, request: AnalysisRequest) -> list[tuple[FencePoin
     2. single branch arms (one fence killing one scenario);
     3. whole branches (both arms — needed when both of a branch's
        scenarios pollute, as a lone arm fence then removes nothing).
+
+    Within each family, candidates touching taint-relevant speculative
+    windows come first (one taint solve shared by both families), so the
+    greedy rounds spend their early evaluations where a fence can
+    actually close a leak.
     """
+    from repro.analysis.taint import tainted_branch_blocks
+
+    tainted = tainted_branch_blocks(program)
     groups: list[tuple[FencePoint, ...]] = [
-        (point,) for point in hoist_points(program, request.resolved_speculation)
+        (point,)
+        for point in hoist_points(
+            program, request.resolved_speculation, tainted_branches=tainted
+        )
     ]
-    arms = surviving_branch_points(program)
+    arms = surviving_branch_points(program, tainted_branches=tainted)
     groups += [(point,) for point in arms if (point,) not in groups]
     by_line: dict[int, list[FencePoint]] = {}
     for point in arms:

@@ -6,6 +6,7 @@ Subcommands::
     repro submit       analyse one MiniC source file (via the daemon, or --local)
     repro wcet         Table-5-shaped WCET comparison for benchmark kernels
     repro sidechannel  Table-7-shaped leak detection for crypto kernels
+    repro lint         compile one MiniC file and verify the produced IR
     repro mitigate     synthesise verified fence placements that close leaks
     repro stats        engine / scheduler / store / metrics of a running daemon
     repro top          live queue/worker view of a running daemon
@@ -209,6 +210,7 @@ def _build_request(args: argparse.Namespace, source: str) -> AnalysisRequest:
         cache_config=cache_config,
         speculation=speculation,
         scenario_shards=getattr(args, "scenario_shards", 1),
+        prune_scenarios=getattr(args, "prune_scenarios", False),
         shard_backend=getattr(args, "shard_backend", None),
         label=args.label,
     )
@@ -411,6 +413,7 @@ def cmd_sidechannel(args: argparse.Namespace) -> int:
     cache = _geometry_override(args, BENCH_CACHE)
     backend = _backend(args)
     rows = []
+    sources: dict[str, str] = {}
     try:
         for name in names:
             kernel = crypto_kernel(name, BENCH_CACHE.num_lines, BENCH_CACHE.line_size)
@@ -418,12 +421,32 @@ def cmd_sidechannel(args: argparse.Namespace) -> int:
             source = build_client_source(
                 kernel, buffer_bytes, line_size=BENCH_CACHE.line_size
             )
+            sources[name] = source
             base_req, spec_req = _bench_requests(source, name, cache)
             rows.append(
                 (name, buffer_bytes, backend.analyze(base_req), backend.analyze(spec_req))
             )
     finally:
         backend.close()
+
+    # --explain reruns the taint pass locally against the same harness
+    # source the requests carried (the daemon never ships blame graphs;
+    # leak sites are matched back by (block, instruction index)).
+    blames: dict[str, dict] = {}
+    if getattr(args, "explain", False):
+        from repro.apps.sidechannel import explain_leaks
+        from repro.frontend import compile_source
+
+        for name, _buffer_bytes, _base, spec in rows:
+            program = compile_source(sources[name], line_size=BENCH_CACHE.line_size)
+            sites = sorted(
+                {
+                    (c["block"], c["instruction_index"])
+                    for c in spec["classifications"]
+                    if c["secret_dependent"] and not c["speculative"]
+                }
+            )
+            blames[name] = explain_leaks(program, sites)
 
     def leak_sites(wire: dict) -> int:
         # Committed (non-speculative) sites only — the same definition as
@@ -438,8 +461,9 @@ def cmd_sidechannel(args: argparse.Namespace) -> int:
     if args.json:
         from repro.service.wire import cache_config_to_wire
 
-        payload = [
-            {
+        payload = []
+        for name, buffer_bytes, base, spec in rows:
+            row = {
                 "name": name,
                 "cache_config": cache_config_to_wire(cache),
                 "buffer_bytes": buffer_bytes,
@@ -451,8 +475,16 @@ def cmd_sidechannel(args: argparse.Namespace) -> int:
                     spec["leak_detected"] and not base["leak_detected"]
                 ),
             }
-            for name, buffer_bytes, base, spec in rows
-        ]
+            if name in blames:
+                row["blame"] = [
+                    {
+                        "block": block,
+                        "instruction_index": index,
+                        "path": [step.to_dict() for step in (path or [])],
+                    }
+                    for (block, index), path in sorted(blames[name].items())
+                ]
+            payload.append(row)
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
 
@@ -466,7 +498,71 @@ def cmd_sidechannel(args: argparse.Namespace) -> int:
             spec["leak_detected"] and not base["leak_detected"]
         ) else ""
         print(f"{name:10s} {buffer_bytes:7d} {base_leak:>6s} {spec_leak:>6s}{marker}")
+    if blames:
+        from repro.apps.report import format_blame_paths
+
+        for name, _buffer_bytes, _base, _spec in rows:
+            if name in blames and blames[name]:
+                print()
+                print(format_blame_paths(name, blames[name]))
     return 0
+
+
+# ----------------------------------------------------------------------
+# repro lint
+# ----------------------------------------------------------------------
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Compile one MiniC file and verify the produced IR.
+
+    Exit codes: 0 = clean, 1 = lint findings, 2 = the source does not
+    even compile (or usage error).  Always local — the verifier inspects
+    the compiled CFGs, which never cross the wire.
+    """
+    from repro.errors import ReproError
+    from repro.frontend import compile_source
+    from repro.ir.verify import verify_program
+
+    if args.source == "-":
+        source = sys.stdin.read()
+    else:
+        with open(args.source, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    try:
+        program = compile_source(
+            source,
+            entry=args.entry,
+            line_size=args.line_size,
+            unroll=not args.no_unroll,
+            inline=not args.no_inline,
+        )
+    except ReproError as error:
+        if args.json:
+            print(json.dumps({"error": str(error), "findings": []}, indent=2))
+        else:
+            print(f"repro lint: compile failed: {error}", file=sys.stderr)
+        return 2
+    findings = verify_program(program)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "program": program.entry_function,
+                    "clean": not findings,
+                    "findings": [finding.to_dict() for finding in findings],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 1 if findings else 0
+    if not findings:
+        blocks = len(program.cfg.blocks)
+        print(f"{program.entry_function}: IR clean ({blocks} blocks verified)")
+        return 0
+    print(f"{program.entry_function}: {len(findings)} finding(s)")
+    for finding in findings:
+        print(f"  {finding.render()}")
+    return 1
 
 
 # ----------------------------------------------------------------------
@@ -841,6 +937,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="where sharded fixpoints execute (bit-identical "
                              "results either way; default: the server's "
                              "REPRO_SHARD_BACKEND, then serial)")
+    submit.add_argument("--prune-scenarios", action="store_true",
+                        help="taint-prune speculation scenarios with provably "
+                             "access-free windows before solving (identical "
+                             "verdicts and classifications; fewer slots, "
+                             "fewer iterations)")
     submit.add_argument("--depth-hit", type=int, default=None,
                         help="speculation depth bound bh")
     submit.add_argument("--label", default=None)
@@ -870,9 +971,27 @@ def build_parser() -> argparse.ArgumentParser:
     sidechannel.add_argument("kernels", nargs="*")
     sidechannel.add_argument("--json", action="store_true",
                              help="print machine-readable rows")
+    sidechannel.add_argument("--explain", action="store_true",
+                             help="attach a taint blame path (secret source "
+                                  "to leaking access) to every leak site")
     _add_cache_geometry_args(sidechannel)
     _add_connection_args(sidechannel)
     sidechannel.set_defaults(func=cmd_sidechannel)
+
+    lint = sub.add_parser(
+        "lint",
+        help="compile one MiniC file and verify the produced IR",
+    )
+    lint.add_argument("source", help="path to a MiniC file, or '-' for stdin")
+    lint.add_argument("--entry", default=None)
+    lint.add_argument("--line-size", type=int, default=64)
+    lint.add_argument("--no-unroll", action="store_true",
+                      help="lint without unrolling fixed loops")
+    lint.add_argument("--no-inline", action="store_true",
+                      help="lint without inlining user functions")
+    lint.add_argument("--json", action="store_true",
+                      help="print findings as JSON")
+    lint.set_defaults(func=cmd_lint)
 
     mitigate = sub.add_parser(
         "mitigate",

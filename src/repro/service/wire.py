@@ -107,6 +107,7 @@ def request_to_wire(request: AnalysisRequest) -> dict:
         "inline": request.inline,
         "max_unroll_iterations": request.max_unroll_iterations,
         "scenario_shards": request.scenario_shards,
+        "prune_scenarios": request.prune_scenarios,
         "shard_backend": request.shard_backend,
         "label": request.label,
         "warm_from": request.warm_from,
@@ -163,6 +164,9 @@ def request_from_wire(data: Mapping[str, Any]) -> AnalysisRequest:
             # (unsharded) engine; pre-backend payloads default to the
             # server's own backend resolution (env, then serial).
             scenario_shards=int(data.get("scenario_shards", 1)),
+            # Pre-taint clients never prune (legacy default off), so
+            # their result keys — and any stored results — are unchanged.
+            prune_scenarios=bool(data.get("prune_scenarios", False)),
             shard_backend=shard_backend,
             label=data.get("label"),
             warm_from=warm_from,

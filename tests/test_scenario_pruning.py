@@ -1,0 +1,193 @@
+"""Taint-driven scenario pruning: differential identity against the
+unpruned engine, the request/wire/CLI plumbing, and the env knob."""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from repro import compile_source
+from repro.analysis.multicolor import SpeculativeCacheAnalysis
+from repro.bench.client import build_client_source
+from repro.bench.crypto import crypto_kernel
+from repro.bench.programs import taint_sparse_kernel_source
+from repro.cache.config import CacheConfig
+from repro.engine.engine import (
+    PRUNE_SCENARIOS_ENV,
+    execute_request,
+    resolve_prune_scenarios,
+)
+from repro.engine.request import AnalysisRequest
+from repro.service.wire import request_from_wire, request_to_wire
+from repro.speculation.config import SpeculationConfig
+
+SEED = 0x7A1A7
+
+BENCH_CACHE = CacheConfig(num_lines=64, line_size=64)
+
+
+def random_secret_source(rng: random.Random, num_statements: int = 10) -> str:
+    """Seeded random MiniC mixing public diamonds, register-only diamonds
+    (prunable windows), and secret-derived accesses."""
+    arrays = 4
+    decls = [f"char a{i}[64];" for i in range(arrays)]
+    decls += ["char cnd[256];", "char sbox[256];", "secret int key;", "reg int p;"]
+
+    def access() -> str:
+        return f"a{rng.randrange(arrays)}[{rng.choice([0, 32])}];"
+
+    body = []
+    for _ in range(num_statements):
+        roll = rng.random()
+        if roll < 0.30:
+            body.append("  " + access())
+        elif roll < 0.55:
+            # Memory-condition diamond with accesses: never prunable.
+            body.append(
+                f"  if (cnd[{rng.randrange(4) * 64}]) "
+                f"{{ {access()} }} else {{ {access()} }}"
+            )
+        elif roll < 0.80:
+            # Register-only diamond: its windows may be access-free.
+            bound = rng.randrange(4)
+            body.append(f"  if (p > {bound}) {{ p = p + {bound + 1}; }}")
+        else:
+            body.append("  sbox[key];")
+    return (
+        "\n".join(decls)
+        + "\n\nint main() {\n"
+        + "\n".join(body)
+        + "\n  return 0;\n}\n"
+    )
+
+
+def run_pair(program, cache, speculation=None):
+    """(cold, pruned) analyses of one program, both run to completion."""
+    speculation = speculation or SpeculationConfig.paper_default()
+
+    def engine(**kwargs):
+        return SpeculativeCacheAnalysis(
+            program, cache_config=cache, speculation=speculation, **kwargs
+        )
+
+    cold_analysis = engine()
+    cold = cold_analysis.run()
+    pruned_analysis = engine(prune_scenarios=True)
+    pruned = pruned_analysis.run()
+    return cold_analysis, cold, pruned_analysis, pruned
+
+
+class TestDifferentialIdentity:
+    """Pruned runs are bit-identical to unpruned runs in everything the
+    result reports as a verdict: classifications (hence must-hits, leak
+    sites) and the leak flag itself."""
+
+    @pytest.mark.parametrize("name", ["hash", "des", "str2key"])
+    def test_table7_kernels(self, name):
+        kernel = crypto_kernel(name, 64, 64)
+        program = compile_source(build_client_source(kernel, 2880))
+        _, cold, _, pruned = run_pair(program, BENCH_CACHE)
+        assert pruned.classifications == cold.classifications
+        assert pruned.leak_detected == cold.leak_detected
+        assert pruned.must_hit_sites() == cold.must_hit_sites()
+
+    def test_seeded_random_programs(self):
+        rng = random.Random(SEED)
+        for _ in range(6):
+            source = random_secret_source(rng)
+            program = compile_source(source)
+            for cache in (
+                CacheConfig(num_lines=4, line_size=64),
+                CacheConfig(num_lines=8, line_size=64, associativity=2, policy="fifo"),
+            ):
+                _, cold, _, pruned = run_pair(program, cache)
+                assert pruned.classifications == cold.classifications, source
+                assert pruned.leak_detected == cold.leak_detected, source
+
+    def test_taint_sparse_kernel_prunes_and_matches(self):
+        program = compile_source(taint_sparse_kernel_source(8))
+        _, cold, pruned_analysis, pruned = run_pair(program, BENCH_CACHE)
+        assert len(pruned_analysis.pruned_scenarios) >= 1
+        assert pruned.classifications == cold.classifications
+        assert cold.leak_detected and pruned.leak_detected
+
+    def test_reported_scenario_counters_are_pre_prune(self):
+        """Pruning must not shrink the *reported* branch/edge counters:
+        they describe the program, not the schedule."""
+        program = compile_source(taint_sparse_kernel_source(8))
+        _, cold, _, pruned = run_pair(program, BENCH_CACHE)
+        assert pruned.num_speculative_branches == cold.num_speculative_branches
+        assert pruned.num_virtual_edges == cold.num_virtual_edges
+
+
+class TestRequestPlumbing:
+    def test_result_key_changes_only_when_enabled(self):
+        request = AnalysisRequest.speculative(
+            "char a[64];\nint main() { a[0]; return 0; }\n"
+        )
+        enabled = dataclasses.replace(request, prune_scenarios=True)
+        assert request.result_key() != enabled.result_key()
+        # Flag-off keys are position-independent of the new field: a fresh
+        # request that never mentions pruning digests to the same key.
+        untouched = AnalysisRequest.speculative(request.source)
+        assert untouched.result_key() == request.result_key()
+
+    def test_wire_round_trip(self):
+        request = AnalysisRequest.speculative(
+            "char a[64];\nint main() { a[0]; return 0; }\n"
+        )
+        for flag in (False, True):
+            tagged = dataclasses.replace(request, prune_scenarios=flag)
+            restored = request_from_wire(request_to_wire(tagged))
+            assert restored.prune_scenarios is flag
+            assert restored.result_key() == tagged.result_key()
+
+    def test_wire_legacy_payload_defaults_off(self):
+        request = AnalysisRequest.speculative(
+            "char a[64];\nint main() { a[0]; return 0; }\n"
+        )
+        payload = request_to_wire(request)
+        del payload["prune_scenarios"]
+        restored = request_from_wire(payload)
+        assert restored.prune_scenarios is False
+        assert restored.result_key() == request.result_key()
+
+    def test_cli_flag_reaches_request(self, tmp_path):
+        from repro.service.cli import _build_request, build_parser
+
+        path = tmp_path / "p.mc"
+        path.write_text("char a[64];\nint main() { a[0]; return 0; }\n")
+        args = build_parser().parse_args(["submit", str(path), "--prune-scenarios"])
+        assert args.prune_scenarios is True
+        request = _build_request(args, path.read_text())
+        assert request.prune_scenarios is True
+        default_args = build_parser().parse_args(["submit", str(path)])
+        assert _build_request(default_args, path.read_text()).prune_scenarios is False
+
+
+class TestEnvKnob:
+    def test_resolution_order(self, monkeypatch):
+        request = AnalysisRequest.speculative(
+            "char a[64];\nint main() { a[0]; return 0; }\n"
+        )
+        monkeypatch.delenv(PRUNE_SCENARIOS_ENV, raising=False)
+        assert resolve_prune_scenarios(request) is False
+        assert resolve_prune_scenarios(
+            dataclasses.replace(request, prune_scenarios=True)
+        ) is True
+        monkeypatch.setenv(PRUNE_SCENARIOS_ENV, "1")
+        assert resolve_prune_scenarios(request) is True
+        monkeypatch.setenv(PRUNE_SCENARIOS_ENV, "0")
+        assert resolve_prune_scenarios(request) is False
+
+    def test_env_forced_run_matches_cold(self, monkeypatch):
+        source = taint_sparse_kernel_source(8)
+        request = AnalysisRequest.speculative(source)
+        monkeypatch.delenv(PRUNE_SCENARIOS_ENV, raising=False)
+        cold = execute_request(request)
+        monkeypatch.setenv(PRUNE_SCENARIOS_ENV, "1")
+        forced = execute_request(request)
+        assert forced.classifications == cold.classifications
+        assert forced.leak_detected == cold.leak_detected

@@ -1,0 +1,267 @@
+"""IR lint/verifier tests: broken-CFG regressions, clean-program sweeps,
+the ``repro lint`` CLI contract, and the ``REPRO_DEBUG_VERIFY`` hook."""
+
+import json
+
+import pytest
+
+from repro import compile_source
+from repro.bench.client import build_client_source
+from repro.bench.crypto import CRYPTO_BENCHMARKS, crypto_kernel
+from repro.bench.programs import (
+    WCET_BENCHMARKS,
+    motivating_example_source,
+    taint_sparse_kernel_source,
+    wcet_benchmark_source,
+)
+from repro.errors import VerificationError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.cfg import CFG
+from repro.ir.instructions import (
+    CondBranch,
+    Const,
+    Fence,
+    Jump,
+    MemoryRef,
+    Return,
+    Store,
+    Temp,
+)
+from repro.ir.verify import (
+    DANGLING_SUCCESSOR,
+    FENCE_AS_TERMINATOR,
+    MID_BLOCK_TERMINATOR,
+    MISSING_TERMINATOR,
+    NO_RETURN,
+    UNDECLARED_SYMBOL,
+    assert_valid_ir,
+    verify_cfg,
+    verify_program,
+)
+
+VALID_SOURCE = """\
+char buf[128];
+char q;
+
+int main() {
+  if (q == 0) {
+    buf[0];
+  } else {
+    buf[64];
+  }
+  return 0;
+}
+"""
+
+
+def build_diamond() -> CFG:
+    """entry -> (left | right) -> join -> return: structurally clean."""
+    cfg = CFG(name="main")
+    entry = cfg.add_block(BasicBlock("entry"))
+    left = cfg.add_block(BasicBlock("left"))
+    right = cfg.add_block(BasicBlock("right"))
+    join = cfg.add_block(BasicBlock("join"))
+    entry.terminator = CondBranch(
+        cond=Temp("c"), true_target="left", false_target="right"
+    )
+    left.terminator = Jump(target="join")
+    right.terminator = Jump(target="join")
+    join.terminator = Return(value=Const(0))
+    return cfg
+
+
+def codes(findings) -> set:
+    return {finding.code for finding in findings}
+
+
+class TestBrokenCFGs:
+    """The four mandated regressions, each a distinct finding code."""
+
+    def test_dangling_successor(self):
+        cfg = build_diamond()
+        cfg.block("left").terminator = Jump(target="nowhere")
+        findings = verify_cfg(cfg)
+        assert codes(findings) == {DANGLING_SUCCESSOR}
+        (finding,) = findings
+        assert finding.block == "left"
+        assert "nowhere" in finding.message
+
+    def test_mid_block_terminator(self):
+        cfg = build_diamond()
+        cfg.block("right").instructions.append(Return(value=Const(1)))
+        findings = verify_cfg(cfg)
+        assert codes(findings) == {MID_BLOCK_TERMINATOR}
+        (finding,) = findings
+        assert finding.block == "right"
+
+    def test_fence_in_terminator_slot(self):
+        cfg = build_diamond()
+        cfg.block("join").terminator = Fence()
+        findings = verify_cfg(cfg)
+        # The broken join also removes the only return block.
+        assert FENCE_AS_TERMINATOR in codes(findings)
+        fence_findings = [f for f in findings if f.code == FENCE_AS_TERMINATOR]
+        assert fence_findings[0].block == "join"
+
+    def test_store_to_undeclared_memory_block(self):
+        program = compile_source(VALID_SOURCE)
+        cfg = build_diamond()
+        cfg.block("left").instructions.append(
+            Store(
+                ref=MemoryRef(symbol="ghost", is_write=True),
+                value=Const(0),
+            )
+        )
+        findings = verify_cfg(cfg, program.layout)
+        assert codes(findings) == {UNDECLARED_SYMBOL}
+        (finding,) = findings
+        assert "ghost" in finding.message and "store" in finding.message
+
+    def test_missing_terminator_and_no_return(self):
+        cfg = build_diamond()
+        cfg.block("join").terminator = None
+        findings = verify_cfg(cfg)
+        assert codes(findings) == {MISSING_TERMINATOR}
+        # NO_RETURN only fires on otherwise-clean graphs: loop forever.
+        cfg2 = CFG(name="main")
+        a = cfg2.add_block(BasicBlock("entry"))
+        b = cfg2.add_block(BasicBlock("b"))
+        a.terminator = Jump(target="b")
+        b.terminator = Jump(target="entry")
+        assert codes(verify_cfg(cfg2)) == {NO_RETURN}
+
+    def test_every_defect_reported_not_just_first(self):
+        cfg = build_diamond()
+        cfg.block("left").terminator = Jump(target="nowhere")
+        cfg.block("right").instructions.append(Return(value=Const(1)))
+        findings = verify_cfg(cfg)
+        assert codes(findings) == {DANGLING_SUCCESSOR, MID_BLOCK_TERMINATOR}
+
+    def test_assert_valid_ir_raises_with_findings(self):
+        program = compile_source(VALID_SOURCE)
+        program.cfg.block(program.cfg.entry).terminator = Jump(target="nowhere")
+        with pytest.raises(VerificationError) as info:
+            assert_valid_ir(program)
+        assert info.value.findings
+        assert DANGLING_SUCCESSOR in {f.code for f in info.value.findings}
+
+
+class TestCleanPrograms:
+    """The verifier accepts every program the frontend actually produces."""
+
+    @pytest.mark.parametrize("name", sorted(WCET_BENCHMARKS))
+    def test_wcet_benchmarks_clean(self, name):
+        program = compile_source(wcet_benchmark_source(name))
+        assert verify_program(program) == []
+
+    @pytest.mark.parametrize("name", sorted(CRYPTO_BENCHMARKS))
+    def test_table7_kernels_clean(self, name):
+        kernel = crypto_kernel(name)
+        source = build_client_source(kernel, 4096)
+        program = compile_source(source)
+        assert verify_program(program) == []
+
+    def test_paper_example_clean(self):
+        assert verify_program(compile_source(motivating_example_source())) == []
+
+    def test_taint_sparse_kernel_clean(self):
+        program = compile_source(taint_sparse_kernel_source(8))
+        assert verify_program(program) == []
+
+
+class TestLintCLI:
+    def test_exit_zero_on_clean_source(self, tmp_path, capsys):
+        from repro.service.cli import main
+
+        path = tmp_path / "ok.mc"
+        path.write_text(VALID_SOURCE)
+        assert main(["lint", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "IR clean" in out
+
+    def test_exit_zero_json_shape(self, tmp_path, capsys):
+        from repro.service.cli import main
+
+        path = tmp_path / "ok.mc"
+        path.write_text(VALID_SOURCE)
+        assert main(["lint", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+        assert payload["findings"] == []
+        assert payload["program"] == "main"
+
+    def test_exit_two_on_compile_error(self, tmp_path, capsys):
+        from repro.service.cli import main
+
+        path = tmp_path / "broken.mc"
+        path.write_text("int main( {\n")
+        assert main(["lint", str(path)]) == 2
+        assert "compile failed" in capsys.readouterr().err
+
+    def test_exit_two_json_carries_error(self, tmp_path, capsys):
+        from repro.service.cli import main
+
+        path = tmp_path / "broken.mc"
+        path.write_text("int main( {\n")
+        assert main(["lint", str(path), "--json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error"]
+        assert payload["findings"] == []
+
+    def test_exit_one_on_findings(self, tmp_path, capsys, monkeypatch):
+        # The in-tree frontend only emits valid IR, so the findings path
+        # is driven by substituting the verifier — the CLI contract under
+        # test is the exit code and rendering, not the compiler.
+        import repro.ir.verify as verify_module
+        from repro.ir.verify import LintFinding
+        from repro.service.cli import main
+
+        def fake_verify(program):
+            return [
+                LintFinding(
+                    code=DANGLING_SUCCESSOR,
+                    function="main",
+                    block="entry",
+                    message="branches to unknown block 'nowhere'",
+                )
+            ]
+
+        monkeypatch.setattr(verify_module, "verify_program", fake_verify)
+        path = tmp_path / "ok.mc"
+        path.write_text(VALID_SOURCE)
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "1 finding(s)" in out and DANGLING_SUCCESSOR in out
+
+    def test_lint_reads_stdin(self, capsys, monkeypatch):
+        import io
+
+        from repro.service.cli import main
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(VALID_SOURCE))
+        assert main(["lint", "-"]) == 0
+
+
+class TestDebugVerifyHook:
+    def test_compile_runs_verifier_when_enabled(self, monkeypatch):
+        calls = []
+        monkeypatch.setenv("REPRO_DEBUG_VERIFY", "1")
+        monkeypatch.setattr(
+            "repro.frontend.assert_valid_ir", lambda program: calls.append(program)
+        )
+        compile_source(VALID_SOURCE)
+        assert len(calls) == 1
+
+    def test_compile_skips_verifier_by_default(self, monkeypatch):
+        calls = []
+        monkeypatch.delenv("REPRO_DEBUG_VERIFY", raising=False)
+        monkeypatch.setattr(
+            "repro.frontend.assert_valid_ir", lambda program: calls.append(program)
+        )
+        compile_source(VALID_SOURCE)
+        assert calls == []
+
+    def test_enabled_end_to_end_on_valid_program(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEBUG_VERIFY", "1")
+        program = compile_source(VALID_SOURCE)
+        assert program.cfg.entry in program.cfg.blocks
